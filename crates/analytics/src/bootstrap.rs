@@ -1,0 +1,171 @@
+//! Block-bootstrap confidence intervals for trend statistics.
+//!
+//! The paper reports regression slopes without uncertainty. Weekly
+//! attack counts are autocorrelated (campaigns, seasons), so a naive
+//! i.i.d. bootstrap would understate variance; we resample contiguous
+//! blocks of weeks (moving-block bootstrap) and refit the trend on each
+//! replicate.
+
+use crate::series::WeeklySeries;
+use simcore::SimRng;
+
+/// A bootstrap interval for the 4-year relative change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendInterval {
+    /// Point estimate: fitted relative change over 208 weeks.
+    pub change_4y: f64,
+    /// 2.5 % quantile of the bootstrap distribution.
+    pub lo: f64,
+    /// 97.5 % quantile.
+    pub hi: f64,
+    pub replicates: usize,
+}
+
+impl TrendInterval {
+    /// Is the trend's sign unambiguous at the 95 % level?
+    pub fn sign_significant(&self) -> bool {
+        (self.lo > 0.0 && self.hi > 0.0) || (self.lo < 0.0 && self.hi < 0.0)
+    }
+}
+
+fn change_4y_of(series: &WeeklySeries) -> Option<f64> {
+    series
+        .linear_regression()
+        .map(|r| r.slope * 208.0 / r.intercept.max(1e-9))
+}
+
+/// Moving-block bootstrap of the 4-year relative change.
+///
+/// Blocks of `block_len` consecutive weeks are drawn with replacement
+/// and concatenated to the original length; each replicate keeps the
+/// week *indices* of the original series (the regression's x-axis) but
+/// permutes block contents — the standard recipe for trend uncertainty
+/// under serial dependence.
+pub fn trend_interval(
+    series: &WeeklySeries,
+    block_len: usize,
+    replicates: usize,
+    rng: &mut SimRng,
+) -> Option<TrendInterval> {
+    let n = series.values.len();
+    if n < block_len.max(2) || replicates == 0 {
+        return None;
+    }
+    let point = change_4y_of(series)?;
+    // Residual-based resampling: fit once, bootstrap the residual
+    // blocks, re-add the fitted line. This keeps the trend identified
+    // while resampling the noise structure.
+    let reg = series.linear_regression()?;
+    let fitted: Vec<f64> = (0..n).map(|i| reg.intercept + reg.slope * i as f64).collect();
+    let residuals: Vec<f64> = series
+        .values
+        .iter()
+        .zip(&fitted)
+        .map(|(&v, &f)| if v.is_nan() { f64::NAN } else { v - f })
+        .collect();
+    let max_start = n - block_len;
+    let mut changes = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let mut resampled = Vec::with_capacity(n);
+        while resampled.len() < n {
+            let start = rng.usize_below(max_start + 1);
+            let take = block_len.min(n - resampled.len());
+            resampled.extend_from_slice(&residuals[start..start + take]);
+        }
+        let values: Vec<f64> = resampled
+            .iter()
+            .zip(&fitted)
+            .map(|(&r, &f)| if r.is_nan() { f64::NAN } else { f + r })
+            .collect();
+        if let Some(c) = change_4y_of(&WeeklySeries::new("replicate", values)) {
+            changes.push(c);
+        }
+    }
+    if changes.is_empty() {
+        return None;
+    }
+    changes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| -> f64 {
+        let pos = p * (changes.len() - 1) as f64;
+        changes[pos.round() as usize]
+    };
+    Some(TrendInterval {
+        change_4y: point,
+        lo: q(0.025),
+        hi: q(0.975),
+        replicates: changes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line(slope: f64, n: usize, noise: f64, seed: u64) -> WeeklySeries {
+        let mut rng = SimRng::new(seed);
+        let values: Vec<f64> = (0..n)
+            .map(|i| 10.0 + slope * i as f64 + noise * (rng.f64() - 0.5))
+            .collect();
+        WeeklySeries::new("x", values)
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let s = noisy_line(0.05, 235, 2.0, 1);
+        let mut rng = SimRng::new(2);
+        let iv = trend_interval(&s, 8, 400, &mut rng).unwrap();
+        assert!(iv.lo <= iv.change_4y && iv.change_4y <= iv.hi, "{iv:?}");
+        assert!(iv.replicates >= 390);
+    }
+
+    #[test]
+    fn strong_trend_is_significant() {
+        let s = noisy_line(0.05, 235, 1.0, 3);
+        let mut rng = SimRng::new(4);
+        let iv = trend_interval(&s, 8, 400, &mut rng).unwrap();
+        assert!(iv.sign_significant(), "{iv:?}");
+        assert!(iv.lo > 0.0);
+    }
+
+    #[test]
+    fn pure_noise_is_not_significant() {
+        let s = noisy_line(0.0, 235, 8.0, 5);
+        let mut rng = SimRng::new(6);
+        let iv = trend_interval(&s, 8, 400, &mut rng).unwrap();
+        assert!(!iv.sign_significant(), "{iv:?}");
+    }
+
+    #[test]
+    fn interval_widens_with_noise() {
+        let mut rng = SimRng::new(7);
+        let quiet = trend_interval(&noisy_line(0.02, 235, 0.5, 8), 8, 300, &mut rng).unwrap();
+        let loud = trend_interval(&noisy_line(0.02, 235, 8.0, 8), 8, 300, &mut rng).unwrap();
+        assert!(loud.hi - loud.lo > 2.0 * (quiet.hi - quiet.lo), "quiet {quiet:?} loud {loud:?}");
+    }
+
+    #[test]
+    fn handles_nan_gaps() {
+        let mut s = noisy_line(0.05, 235, 1.0, 9);
+        s.mask_range(30, 55);
+        let mut rng = SimRng::new(10);
+        let iv = trend_interval(&s, 8, 200, &mut rng).unwrap();
+        assert!(iv.change_4y.is_finite());
+        assert!(iv.lo.is_finite() && iv.hi.is_finite());
+    }
+
+    #[test]
+    fn degenerate_inputs_none() {
+        let mut rng = SimRng::new(11);
+        assert!(trend_interval(&WeeklySeries::new("x", vec![1.0]), 8, 100, &mut rng).is_none());
+        let s = noisy_line(0.01, 100, 1.0, 12);
+        assert!(trend_interval(&s, 8, 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let s = noisy_line(0.03, 200, 2.0, 13);
+        let a = trend_interval(&s, 8, 100, &mut SimRng::new(14)).unwrap();
+        let b = trend_interval(&s, 8, 100, &mut SimRng::new(14)).unwrap();
+        assert_eq!(a, b);
+    }
+}

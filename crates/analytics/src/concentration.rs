@@ -1,0 +1,105 @@
+//! Concentration statistics over target distributions (§7.1 / Table 4:
+//! "7 of our top 10 most targeted ASes belong to hosters" — how
+//! concentrated is the victim population?).
+
+use serde::{Deserialize, Serialize};
+
+/// Concentration summary of a count distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Concentration {
+    /// Gini coefficient in [0, 1): 0 = perfectly even, →1 = one entity
+    /// holds everything.
+    pub gini: f64,
+    /// Share held by the single largest entity.
+    pub top1_share: f64,
+    /// Share held by the ten largest entities.
+    pub top10_share: f64,
+    /// Number of entities.
+    pub n: usize,
+}
+
+/// Compute concentration statistics from per-entity counts.
+/// Zero-count entities contribute to `n` and flatten nothing; an empty
+/// or all-zero input returns `None`.
+pub fn concentration(counts: &[u64]) -> Option<Concentration> {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return None;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total_f = total as f64;
+    // Gini via the sorted-index formula:
+    // G = (2 * Σ_i i*x_i) / (n * Σ x) - (n + 1) / n, i being 1-based
+    // ranks in ascending order.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    let gini = (2.0 * weighted) / (n * total_f) - (n + 1.0) / n;
+    let top1 = *sorted.last().unwrap() as f64 / total_f;
+    let top10: u64 = sorted.iter().rev().take(10).sum();
+    Some(Concentration {
+        gini: gini.clamp(0.0, 1.0),
+        top1_share: top1,
+        top10_share: top10 as f64 / total_f,
+        n: sorted.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_even_is_zero() {
+        let c = concentration(&[10, 10, 10, 10]).unwrap();
+        assert!(c.gini.abs() < 1e-12, "gini {}", c.gini);
+        assert_eq!(c.top1_share, 0.25);
+        assert_eq!(c.top10_share, 1.0);
+    }
+
+    #[test]
+    fn single_holder_is_extreme() {
+        let mut counts = vec![0u64; 100];
+        counts[7] = 1000;
+        let c = concentration(&counts).unwrap();
+        assert!(c.gini > 0.98, "gini {}", c.gini);
+        assert_eq!(c.top1_share, 1.0);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // [1, 3]: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        let c = concentration(&[1, 3]).unwrap();
+        assert!((c.gini - 0.25).abs() < 1e-12);
+        assert_eq!(c.top1_share, 0.75);
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let a = concentration(&[5, 1, 9, 3]).unwrap();
+        let b = concentration(&[9, 3, 5, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_skew_more_gini() {
+        let even = concentration(&[25, 25, 25, 25]).unwrap();
+        let mild = concentration(&[40, 30, 20, 10]).unwrap();
+        let harsh = concentration(&[97, 1, 1, 1]).unwrap();
+        assert!(even.gini < mild.gini);
+        assert!(mild.gini < harsh.gini);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(concentration(&[]).is_none());
+        assert!(concentration(&[0, 0]).is_none());
+        let c = concentration(&[7]).unwrap();
+        assert_eq!(c.top1_share, 1.0);
+        assert!(c.gini.abs() < 1e-12);
+    }
+}

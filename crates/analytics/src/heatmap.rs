@@ -1,0 +1,140 @@
+//! The Fig.-4 heatmap: all normalized weekly series as one matrix, with
+//! a terminal-friendly shaded rendering.
+
+use crate::series::WeeklySeries;
+use serde::{Deserialize, Serialize};
+
+/// A heatmap over weekly series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heatmap {
+    pub row_names: Vec<String>,
+    pub weeks: usize,
+    /// Row-major values, clipped to `clip_max`.
+    pub values: Vec<f64>,
+    pub clip_max: f64,
+}
+
+impl Heatmap {
+    /// Build from normalized series, clipping extreme peaks so the
+    /// shading stays readable (the paper's colormap saturates too).
+    pub fn from_series(series: &[WeeklySeries], clip_max: f64) -> Self {
+        assert!(!series.is_empty());
+        let weeks = series.iter().map(|s| s.values.len()).max().unwrap();
+        let mut values = Vec::with_capacity(series.len() * weeks);
+        for s in series {
+            for w in 0..weeks {
+                let v = s.values.get(w).copied().unwrap_or(f64::NAN);
+                values.push(if v.is_nan() { f64::NAN } else { v.min(clip_max) });
+            }
+        }
+        Heatmap {
+            row_names: series.iter().map(|s| s.name.clone()).collect(),
+            weeks,
+            values,
+            clip_max,
+        }
+    }
+
+    pub fn get(&self, row: usize, week: usize) -> f64 {
+        self.values[row * self.weeks + week]
+    }
+
+    /// Render as text: one row per series, one character per bucket of
+    /// `weeks_per_char` weeks, five shade levels (space, ░, ▒, ▓, █) on
+    /// the clipped scale; missing data renders as '·'.
+    pub fn render(&self, weeks_per_char: usize) -> String {
+        const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+        let weeks_per_char = weeks_per_char.max(1);
+        let label_width = self
+            .row_names
+            .iter()
+            .map(|n| n.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (r, name) in self.row_names.iter().enumerate() {
+            out.push_str(&format!("{name:label_width$} |"));
+            let mut w = 0;
+            while w < self.weeks {
+                let hi = (w + weeks_per_char).min(self.weeks);
+                let bucket: Vec<f64> = (w..hi)
+                    .map(|i| self.get(r, i))
+                    .filter(|v| !v.is_nan())
+                    .collect();
+                if bucket.is_empty() {
+                    out.push('·');
+                } else {
+                    let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+                    let level = ((mean / self.clip_max) * (SHADES.len() - 1) as f64)
+                        .round()
+                        .clamp(0.0, (SHADES.len() - 1) as f64) as usize;
+                    out.push(SHADES[level]);
+                }
+                w = hi;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, vals: Vec<f64>) -> WeeklySeries {
+        WeeklySeries::new(name, vals)
+    }
+
+    #[test]
+    fn builds_and_clips() {
+        let h = Heatmap::from_series(
+            &[series("a", vec![0.5, 10.0]), series("b", vec![1.0, f64::NAN])],
+            3.0,
+        );
+        assert_eq!(h.weeks, 2);
+        assert_eq!(h.get(0, 0), 0.5);
+        assert_eq!(h.get(0, 1), 3.0); // clipped
+        assert!(h.get(1, 1).is_nan());
+    }
+
+    #[test]
+    fn ragged_series_padded_with_nan() {
+        let h = Heatmap::from_series(&[series("a", vec![1.0]), series("b", vec![1.0, 2.0])], 3.0);
+        assert_eq!(h.weeks, 2);
+        assert!(h.get(0, 1).is_nan());
+    }
+
+    #[test]
+    fn render_shapes() {
+        let h = Heatmap::from_series(
+            &[series("long-name", vec![0.0, 1.5, 3.0]), series("b", vec![3.0, 3.0, 3.0])],
+            3.0,
+        );
+        let text = h.render(1);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("long-name |"));
+        assert!(lines[1].starts_with("b         |"));
+        // Max-value cells render as full blocks.
+        assert!(lines[1].ends_with("███"));
+        // Zero renders as a space, mid as a mid shade.
+        assert!(lines[0].contains(' '));
+    }
+
+    #[test]
+    fn render_marks_missing() {
+        let h = Heatmap::from_series(&[series("a", vec![f64::NAN, 1.0])], 2.0);
+        let text = h.render(1);
+        assert!(text.contains('·'));
+    }
+
+    #[test]
+    fn render_buckets_weeks() {
+        let h = Heatmap::from_series(&[series("a", vec![1.0; 10])], 2.0);
+        let text = h.render(5);
+        // 10 weeks / 5 per char = 2 chars after the separator.
+        let row = text.lines().next().unwrap();
+        assert_eq!(row.split('|').nth(1).unwrap().chars().count(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Seasonal structure of weekly series (§6.1: "relative attack counts
+//! reached a peak during the first half of the year (2019-2022)
+//! followed by a valley").
+
+use crate::series::WeeklySeries;
+use serde::{Deserialize, Serialize};
+use simcore::time::week_start_date;
+
+/// Average value per calendar month (index 0 = January), NaNs skipped.
+/// Months with no present data are NaN.
+pub fn monthly_profile(series: &WeeklySeries) -> [f64; 12] {
+    let mut sums = [0.0f64; 12];
+    let mut counts = [0usize; 12];
+    for (w, v) in series.present() {
+        let month = week_start_date(w as i64).month as usize - 1;
+        sums[month] += v;
+        counts[month] += 1;
+    }
+    let mut out = [f64::NAN; 12];
+    for m in 0..12 {
+        if counts[m] > 0 {
+            out[m] = sums[m] / counts[m] as f64;
+        }
+    }
+    out
+}
+
+/// Summary of a series' half-year asymmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalSummary {
+    /// Mean over January–June.
+    pub h1_mean: f64,
+    /// Mean over July–December.
+    pub h2_mean: f64,
+    /// h1 / h2 — above 1 ⇒ first-half peaks (the paper's pattern).
+    pub h1_over_h2: f64,
+    /// 1-based calendar month with the highest average.
+    pub peak_month: u8,
+}
+
+pub fn seasonal_summary(series: &WeeklySeries) -> Option<SeasonalSummary> {
+    let profile = monthly_profile(series);
+    let mean = |range: std::ops::Range<usize>| -> f64 {
+        let vals: Vec<f64> = profile[range].iter().copied().filter(|v| !v.is_nan()).collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let h1 = mean(0..6);
+    let h2 = mean(6..12);
+    if h1.is_nan() || h2.is_nan() || h2 == 0.0 {
+        return None;
+    }
+    let peak_month = profile
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?
+        .0 as u8
+        + 1;
+    Some(SeasonalSummary {
+        h1_mean: h1,
+        h2_mean: h2,
+        h1_over_h2: h1 / h2,
+        peak_month,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A full-study series whose value equals its calendar month.
+    fn month_indexed() -> WeeklySeries {
+        let values: Vec<f64> = (0..simcore::STUDY_WEEKS)
+            .map(|w| week_start_date(w as i64).month as f64)
+            .collect();
+        WeeklySeries::new("months", values)
+    }
+
+    #[test]
+    fn profile_recovers_month_values() {
+        let profile = monthly_profile(&month_indexed());
+        for (m, v) in profile.iter().enumerate() {
+            assert!((v - (m as f64 + 1.0)).abs() < 1e-9, "month {m}: {v}");
+        }
+    }
+
+    #[test]
+    fn summary_detects_h1_peaks() {
+        // Values high Jan-Jun, low Jul-Dec.
+        let values: Vec<f64> = (0..simcore::STUDY_WEEKS)
+            .map(|w| {
+                if week_start_date(w as i64).month <= 6 {
+                    10.0
+                } else {
+                    5.0
+                }
+            })
+            .collect();
+        let s = seasonal_summary(&WeeklySeries::new("x", values)).unwrap();
+        assert!((s.h1_over_h2 - 2.0).abs() < 0.05, "{:?}", s);
+        assert!(s.peak_month <= 6);
+    }
+
+    #[test]
+    fn summary_flat_is_one() {
+        let s = seasonal_summary(&WeeklySeries::new("flat", vec![3.0; 235])).unwrap();
+        assert!((s.h1_over_h2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_months_skipped() {
+        // Only January present.
+        let values: Vec<f64> = (0..simcore::STUDY_WEEKS)
+            .map(|w| {
+                if week_start_date(w as i64).month == 1 {
+                    7.0
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        let profile = monthly_profile(&WeeklySeries::new("jan", values));
+        assert!((profile[0] - 7.0).abs() < 1e-9);
+        assert!(profile[6].is_nan());
+    }
+
+    #[test]
+    fn summary_none_without_h2_data() {
+        let values: Vec<f64> = (0..simcore::STUDY_WEEKS)
+            .map(|w| {
+                if week_start_date(w as i64).month <= 3 {
+                    1.0
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        assert!(seasonal_summary(&WeeklySeries::new("h1only", values)).is_none());
+    }
+}

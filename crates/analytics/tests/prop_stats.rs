@@ -1,0 +1,193 @@
+//! Property-based tests for the statistical machinery.
+
+use analytics::{
+    box_stats, median, pearson, spearman, upset, weekly_target_counts, WeeklySeries,
+};
+use analytics::corr::average_ranks;
+use netmodel::Ipv4;
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, len)
+}
+
+proptest! {
+    /// Ranks are a permutation-with-ties of 1..=n: they sum to
+    /// n(n+1)/2 and lie within [1, n].
+    #[test]
+    fn ranks_sum_invariant(values in finite_vec(1..60)) {
+        let ranks = average_ranks(&values);
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert!(ranks.iter().all(|&r| r >= 1.0 && r <= n));
+    }
+
+    /// Ranks preserve order: x[i] < x[j] implies rank[i] < rank[j].
+    #[test]
+    fn ranks_monotone(values in finite_vec(2..40)) {
+        let ranks = average_ranks(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+                if values[i] == values[j] {
+                    prop_assert!((ranks[i] - ranks[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Correlations live in [-1, 1], are symmetric, and are exactly +1
+    /// against a positively scaled copy.
+    #[test]
+    fn correlation_bounds_and_symmetry(xs in finite_vec(3..60), shift in -100.0f64..100.0) {
+        let ys: Vec<f64> = xs.iter().rev().map(|x| x + shift).collect();
+        for f in [pearson, spearman] {
+            if let Some(c) = f(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&c.rho));
+                prop_assert!((0.0..=1.0).contains(&c.p_value));
+                let sym = f(&ys, &xs).unwrap();
+                prop_assert!((c.rho - sym.rho).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_self_is_one(xs in finite_vec(3..60), scale in 0.1f64..100.0) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * scale + 3.0).collect();
+        // Degenerate constant vectors are None; skip those.
+        if let Some(c) = pearson(&xs, &ys) {
+            prop_assert!((c.rho - 1.0).abs() < 1e-6, "rho {}", c.rho);
+        }
+        if let Some(c) = spearman(&xs, &ys) {
+            prop_assert!((c.rho - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Spearman is invariant under any strictly monotone transform.
+    #[test]
+    fn spearman_monotone_invariant(xs in finite_vec(3..50)) {
+        let ys: Vec<f64> = xs.iter().map(|x| x.atan()).collect();
+        if let (Some(a), Some(b)) = (spearman(&xs, &xs), spearman(&xs, &ys)) {
+            prop_assert!((a.rho - b.rho).abs() < 1e-9);
+        }
+    }
+
+    /// Box stats are ordered: min <= q1 <= median <= q3 <= max, and the
+    /// mean lies within [min, max].
+    #[test]
+    fn box_stats_ordered(values in finite_vec(1..60)) {
+        let b = box_stats(&values).unwrap();
+        prop_assert!(b.min <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.max + 1e-9);
+        prop_assert!(b.mean >= b.min - 1e-9 && b.mean <= b.max + 1e-9);
+        prop_assert_eq!(b.n, values.len());
+    }
+
+    /// The median is order-insensitive and bounded by extremes.
+    #[test]
+    fn median_properties(mut values in finite_vec(1..60)) {
+        let m1 = median(&values);
+        values.reverse();
+        let m2 = median(&values);
+        prop_assert!((m1 - m2).abs() < 1e-12);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m1 >= lo && m1 <= hi);
+    }
+
+    /// Normalization: scaling the input leaves the normalized series
+    /// unchanged (scale invariance of the §5 aggregation).
+    #[test]
+    fn normalization_scale_invariant(
+        values in proptest::collection::vec(0.1f64..1e5, 20..120),
+        scale in 0.001f64..1000.0,
+    ) {
+        let a = WeeklySeries::new("a", values.clone()).normalize_to_baseline();
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let b = WeeklySeries::new("b", scaled).normalize_to_baseline();
+        for (x, y) in a.values.iter().zip(&b.values) {
+            prop_assert!((x - y).abs() < 1e-6 * x.abs().max(1.0));
+        }
+    }
+
+    /// EWMA output stays within the running min/max envelope of its
+    /// input (it is a convex combination).
+    #[test]
+    fn ewma_within_envelope(values in finite_vec(1..120), span in 1usize..30) {
+        let s = WeeklySeries::new("x", values.clone()).ewma(span);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, &v) in values.iter().enumerate() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            prop_assert!(s.values[i] >= lo - 1e-9 && s.values[i] <= hi + 1e-9);
+        }
+    }
+
+    /// Regression of an exactly linear series recovers its parameters.
+    #[test]
+    fn regression_exact_on_lines(
+        slope in -100.0f64..100.0,
+        intercept in -1e4f64..1e4,
+        n in 2usize..200,
+    ) {
+        let values: Vec<f64> = (0..n).map(|i| intercept + slope * i as f64).collect();
+        let r = WeeklySeries::new("x", values).linear_regression().unwrap();
+        prop_assert!((r.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((r.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+    }
+}
+
+proptest! {
+    /// UpSet invariants on arbitrary target sets: exclusive counts sum
+    /// to the distinct total, each set size equals the sum of exclusive
+    /// counts over masks containing it, and shares sum to 1.
+    #[test]
+    fn upset_conservation(
+        raw in proptest::collection::vec(
+            (0u8..4, 0i64..20, 0u32..50),
+            0..200,
+        ),
+    ) {
+        let mut sets: Vec<(String, Vec<(i64, Ipv4)>)> = (0..4)
+            .map(|i| (format!("S{i}"), Vec::new()))
+            .collect();
+        for (set, day, ip) in raw {
+            sets[set as usize].1.push((day, Ipv4(ip)));
+        }
+        let u = upset(&sets);
+        let exclusive_total: usize = u.exclusive.values().sum();
+        prop_assert_eq!(exclusive_total, u.total_distinct);
+        for (i, &size) in u.set_sizes.iter().enumerate() {
+            let by_mask: usize = u
+                .exclusive
+                .iter()
+                .filter(|(m, _)| *m & (1 << i) != 0)
+                .map(|(_, c)| c)
+                .sum();
+            prop_assert_eq!(size, by_mask);
+        }
+        if u.total_distinct > 0 {
+            let share_sum: f64 = u.exclusive.keys().map(|&m| u.share(m)).sum();
+            prop_assert!((share_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Weekly target counts conserve the number of distinct in-window
+    /// tuples.
+    #[test]
+    fn weekly_counts_conserve(
+        tuples in proptest::collection::vec((0i64..1640, 0u32..1000), 0..300),
+    ) {
+        let tuples: Vec<(i64, Ipv4)> =
+            tuples.into_iter().map(|(d, ip)| (d, Ipv4(ip))).collect();
+        let counts = weekly_target_counts(&tuples);
+        let distinct: std::collections::HashSet<_> = tuples.iter().collect();
+        prop_assert_eq!(counts.iter().sum::<f64>() as usize, distinct.len());
+    }
+}

@@ -1,0 +1,289 @@
+//! Attack campaigns: correlated bursts of attacks against a scoped set
+//! of victims.
+//!
+//! The paper's figures show short peaks that appear at *some*
+//! observatories and not others (§6.1: "these peaks did not coincide in
+//! time"; §6.2: the mid-2022 honeypot spike "not visible at the industry
+//! observatories"). Campaigns are our mechanism for that: each one
+//! elevates attack rates against a scope (one AS, one RIR region, or the
+//! Akamai-protected prefix set) for a bounded period, so different
+//! coverage footprints light up differently.
+
+use crate::attack::{AttackClass, AttackVector};
+use netmodel::{AmpVector, Asn, InternetPlan, Rir};
+use serde::{Deserialize, Serialize};
+use simcore::{Date, SimRng, SimTime};
+
+/// Victim scope of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignScope {
+    /// All targets inside one AS.
+    SingleAs(Asn),
+    /// Targets across ASes allocated by one RIR (regional campaigns,
+    /// e.g. the mid-2022 SSDP carpet bombing of Brazil, Appendix I).
+    Region(Rir),
+    /// Targets inside Akamai-protected prefixes (drives the
+    /// Akamai-unique peaks of Fig. 3(d)).
+    AkamaiProtected,
+    /// Targets at IXP-member ASes that are *not* Netscout customers —
+    /// campaigns whose peaks light up the IXP series without moving the
+    /// Netscout series (the paper's coverage-footprint divergence,
+    /// §6.1).
+    IxpMembersOnly,
+}
+
+/// A scheduled campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Campaign {
+    pub id: u32,
+    pub name: String,
+    pub class: AttackClass,
+    pub vector: AttackVector,
+    pub scope: CampaignScope,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Additional attacks per week while active.
+    pub weekly_rate: f64,
+    /// Force carpet bombing for campaign attacks.
+    pub carpet: bool,
+    /// Multiplier on the sampled per-attack pps (a low value keeps the
+    /// campaign under industry severity thresholds — the reason the
+    /// mid-2022 spike is honeypot-only).
+    pub pps_scale: f64,
+    /// Carpet width override (min, max targets) for campaign attacks.
+    pub carpet_width: Option<(u32, u32)>,
+}
+
+impl Campaign {
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+fn t(y: i32, m: u8, d: u8) -> SimTime {
+    Date::new(y, m, d).to_sim_time()
+}
+
+/// The hand-scheduled campaigns that anchor paper-visible events.
+pub fn scripted_campaigns() -> Vec<Campaign> {
+    vec![
+        // Appendix I / Fig. 3(a,b): SSDP carpet bombing against Brazil in
+        // mid-2022. Low per-target rate, very wide — honeypots record a
+        // spike, industry severity thresholds are never met.
+        Campaign {
+            id: 0,
+            name: "brazil-ssdp-carpet-2022".into(),
+            class: AttackClass::ReflectionAmplification,
+            vector: AttackVector::Amplification(AmpVector::Ssdp),
+            scope: CampaignScope::Region(Rir::Lacnic),
+            start: t(2022, 5, 1),
+            end: t(2022, 8, 1),
+            weekly_rate: 1800.0,
+            carpet: true,
+            pps_scale: 0.8,
+            // Narrow sweeps: enough per-victim request volume that even
+            // AmpPot's 100-packet flow bar catches part of the campaign
+            // (both honeypots spike in Fig. 3(a)/(b)).
+            carpet_width: Some((8, 16)),
+        },
+        // Fig. 3(d): Akamai's RA peak in 2021Q4 is "unique to Akamai" —
+        // a campaign against Prolexic-protected customers.
+        Campaign {
+            id: 1,
+            name: "akamai-ra-2021q4".into(),
+            class: AttackClass::ReflectionAmplification,
+            vector: AttackVector::Amplification(AmpVector::Dns),
+            scope: CampaignScope::AkamaiProtected,
+            start: t(2021, 10, 1),
+            end: t(2021, 12, 20),
+            weekly_rate: 40.0,
+            carpet: false,
+            pps_scale: 1.0,
+            carpet_width: None,
+        },
+        // Fig. 2(a): ORION's largest direct-path peaks fall in 2022H1.
+        // A high-rate RSDoS campaign large enough for the small
+        // telescope to see clearly.
+        Campaign {
+            id: 2,
+            name: "rsdos-surge-2022h1".into(),
+            class: AttackClass::DirectPathSpoofed,
+            vector: AttackVector::SynFlood,
+            scope: CampaignScope::Region(Rir::RipeNcc),
+            start: t(2022, 1, 10),
+            end: t(2022, 6, 1),
+            weekly_rate: 380.0,
+            carpet: false,
+            pps_scale: 3.0,
+            carpet_width: None,
+        },
+        // Fig. 2(b): UCSD's largest peak lands in 2023Q2 — a *low-rate*
+        // spoofed campaign only the large telescope can detect.
+        Campaign {
+            id: 3,
+            name: "rsdos-lowrate-2023q2".into(),
+            class: AttackClass::DirectPathSpoofed,
+            vector: AttackVector::SynFlood,
+            scope: CampaignScope::Region(Rir::Apnic),
+            start: t(2023, 4, 1),
+            end: t(2023, 6, 25),
+            weekly_rate: 420.0,
+            carpet: false,
+            pps_scale: 0.5,
+            carpet_width: None,
+        },
+        // Fig. 2(e): the IXP saw ≈10× jumps in 2020H1 / 2021H1 (blackholed
+        // direct-path attacks at European customers).
+        Campaign {
+            id: 4,
+            name: "ixp-dp-2020h1".into(),
+            class: AttackClass::DirectPathNonSpoofed,
+            vector: AttackVector::SynFlood,
+            scope: CampaignScope::IxpMembersOnly,
+            start: t(2020, 2, 1),
+            end: t(2020, 6, 15),
+            weekly_rate: 90.0,
+            carpet: false,
+            pps_scale: 8.0,
+            carpet_width: None,
+        },
+        Campaign {
+            id: 5,
+            name: "ixp-dp-2021h1".into(),
+            class: AttackClass::DirectPathNonSpoofed,
+            vector: AttackVector::SynFlood,
+            scope: CampaignScope::IxpMembersOnly,
+            start: t(2021, 1, 15),
+            end: t(2021, 6, 1),
+            weekly_rate: 80.0,
+            carpet: false,
+            pps_scale: 8.0,
+            carpet_width: None,
+        },
+    ]
+}
+
+/// Random filler campaigns: short, scoped bursts that generate the
+/// non-coinciding small peaks every observatory shows.
+pub fn random_campaigns(plan: &InternetPlan, count: usize, rng: &mut SimRng) -> Vec<Campaign> {
+    let mut rng = rng.fork_named("random-campaigns");
+    let asns: Vec<Asn> = plan
+        .registry
+        .iter()
+        .filter(|r| r.target_weight > 0.0)
+        .map(|r| r.asn)
+        .collect();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = match rng.weighted_index(&[0.30, 0.25, 0.45]) {
+            0 => AttackClass::DirectPathSpoofed,
+            1 => AttackClass::DirectPathNonSpoofed,
+            _ => AttackClass::ReflectionAmplification,
+        };
+        let vector = match class {
+            AttackClass::DirectPathSpoofed => AttackVector::SynFlood,
+            AttackClass::DirectPathNonSpoofed => {
+                if rng.chance(0.5) {
+                    AttackVector::HttpFlood
+                } else {
+                    AttackVector::SynFlood
+                }
+            }
+            AttackClass::ReflectionAmplification => {
+                AttackVector::Amplification(*rng.choose(&AmpVector::ALL))
+            }
+        };
+        let start_week = rng.u64_below(simcore::STUDY_WEEKS as u64 - 9) as i64;
+        let weeks = rng.u64_range(2, 8) as i64;
+        out.push(Campaign {
+            id: 100 + i as u32,
+            name: format!("burst-{i}"),
+            class,
+            vector,
+            scope: CampaignScope::SingleAs(*rng.choose(&asns)),
+            start: SimTime::from_weeks(start_week),
+            end: SimTime::from_weeks(start_week + weeks),
+            weekly_rate: rng.f64_range(40.0, 260.0),
+            carpet: rng.chance(0.12),
+            pps_scale: rng.f64_range(0.3, 3.0),
+            carpet_width: None,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::NetScale;
+
+    #[test]
+    fn scripted_campaigns_inside_study() {
+        for c in scripted_campaigns() {
+            assert!(c.start.in_study(), "{} starts outside study", c.name);
+            assert!(c.start < c.end);
+            assert!(SimTime(c.end.0 - 1).in_study(), "{} ends outside study", c.name);
+        }
+    }
+
+    #[test]
+    fn scripted_ids_unique() {
+        let cs = scripted_campaigns();
+        let mut ids: Vec<u32> = cs.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cs.len());
+    }
+
+    #[test]
+    fn brazil_campaign_is_carpet_and_low_rate() {
+        let cs = scripted_campaigns();
+        let brazil = cs.iter().find(|c| c.name.contains("brazil")).unwrap();
+        assert!(brazil.carpet);
+        assert!(brazil.pps_scale < 1.0);
+        assert_eq!(brazil.carpet_width, Some((8, 16)));
+        assert_eq!(brazil.scope, CampaignScope::Region(Rir::Lacnic));
+        assert_eq!(brazil.class, AttackClass::ReflectionAmplification);
+    }
+
+    #[test]
+    fn active_at_boundaries() {
+        let c = &scripted_campaigns()[0];
+        assert!(!c.active_at(SimTime(c.start.0 - 1)));
+        assert!(c.active_at(c.start));
+        assert!(c.active_at(SimTime(c.end.0 - 1)));
+        assert!(!c.active_at(c.end));
+    }
+
+    #[test]
+    fn random_campaigns_deterministic_and_bounded() {
+        let mut rng = SimRng::new(3);
+        let plan = InternetPlan::build(&NetScale::tiny(), &mut rng);
+        let mut r1 = SimRng::new(11);
+        let mut r2 = SimRng::new(11);
+        let a = random_campaigns(&plan, 20, &mut r1);
+        let b = random_campaigns(&plan, 20, &mut r2);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.start, y.start);
+        }
+        for c in &a {
+            assert!(c.start.in_study());
+            assert!(c.end.0 <= simcore::STUDY_END.0 + simcore::time::SECS_PER_WEEK);
+            assert!(c.weekly_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn random_campaigns_target_weighted_ases_only() {
+        let mut rng = SimRng::new(3);
+        let plan = InternetPlan::build(&NetScale::tiny(), &mut rng);
+        let mut r = SimRng::new(11);
+        for c in random_campaigns(&plan, 50, &mut r) {
+            if let CampaignScope::SingleAs(asn) = c.scope {
+                assert!(plan.registry.get(asn).unwrap().target_weight > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The common output type of every observatory: what one vantage point
+//! believes it saw.
+//!
+//! The paper's comparison machinery consumes exactly two projections of
+//! these records (§5 "Data aggregation"): weekly *attack counts* (new
+//! attacks per day summed to weekly totals) and daily *(date, target IP)*
+//! tuples. Keeping the observation type minimal and shared lets the
+//! analytics treat academic and industry observatories uniformly.
+
+use crate::attack::AttackId;
+use netmodel::Ipv4;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// One attack event as inferred by a single observatory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedAttack {
+    /// Ground-truth attack this observation descends from. Real
+    /// observatories don't have this — it exists for validation joins
+    /// and is never used by the reproduction analytics.
+    pub attack_id: AttackId,
+    /// When the observatory first saw the attack.
+    pub start: SimTime,
+    /// Target addresses this observatory attributed to the attack
+    /// (a subset of the ground-truth target list).
+    pub targets: Vec<Ipv4>,
+}
+
+impl ObservedAttack {
+    /// The (day, target) tuples this observation contributes to target-
+    /// overlap analysis (§7: "we used the tuple (attack start date,
+    /// target IP address) to identify a target").
+    pub fn target_tuples(&self) -> impl Iterator<Item = (i64, Ipv4)> + '_ {
+        let day = self.start.day_index();
+        self.targets.iter().map(move |&ip| (day, ip))
+    }
+
+    /// Study week of the observation.
+    pub fn week(&self) -> i64 {
+        self.start.week_index()
+    }
+}
+
+/// Count observed attacks per study week (the §5 aggregation).
+pub fn weekly_counts(observations: &[ObservedAttack]) -> Vec<f64> {
+    let mut out = vec![0.0; simcore::STUDY_WEEKS];
+    for o in observations {
+        let w = o.week();
+        if (0..simcore::STUDY_WEEKS as i64).contains(&w) {
+            out[w as usize] += 1.0;
+        }
+    }
+    out
+}
+
+/// Collect the distinct (day, target IP) tuples of an observation set.
+pub fn distinct_target_tuples(observations: &[ObservedAttack]) -> Vec<(i64, Ipv4)> {
+    let mut tuples: Vec<(i64, Ipv4)> = observations
+        .iter()
+        .flat_map(|o| o.target_tuples())
+        .collect();
+    tuples.sort_unstable();
+    tuples.dedup();
+    tuples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(day: i64, ips: &[u32]) -> ObservedAttack {
+        ObservedAttack {
+            attack_id: AttackId(day as u64),
+            start: SimTime::from_days(day),
+            targets: ips.iter().map(|&i| Ipv4(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn tuples_expand_targets() {
+        let o = obs(3, &[1, 2, 3]);
+        let t: Vec<_> = o.target_tuples().collect();
+        assert_eq!(t, vec![(3, Ipv4(1)), (3, Ipv4(2)), (3, Ipv4(3))]);
+    }
+
+    #[test]
+    fn weekly_counts_bucket_correctly() {
+        let observations = vec![obs(0, &[1]), obs(6, &[1]), obs(7, &[1]), obs(14, &[1])];
+        let counts = weekly_counts(&observations);
+        assert_eq!(counts[0], 2.0);
+        assert_eq!(counts[1], 1.0);
+        assert_eq!(counts[2], 1.0);
+        assert_eq!(counts[3], 0.0);
+    }
+
+    #[test]
+    fn weekly_counts_ignore_out_of_study() {
+        let mut o = obs(0, &[1]);
+        o.start = SimTime::from_days(-5);
+        let counts = weekly_counts(&[o]);
+        assert!(counts.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn distinct_tuples_dedupe() {
+        let observations = vec![obs(1, &[9, 9, 8]), obs(1, &[9]), obs(2, &[9])];
+        let tuples = distinct_target_tuples(&observations);
+        assert_eq!(
+            tuples,
+            vec![(1, Ipv4(8)), (1, Ipv4(9)), (2, Ipv4(9))]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Scan traffic: the reconnaissance that precedes reflection attacks
+//! and the background radiation telescopes must discriminate.
+//!
+//! §2.2: telescopes "achieve visibility of attack preparation in the
+//! form of scans for open reflectors"; honeypots "need to discern
+//! scanning and testing by attackers from actual attacks" (§4). Scans
+//! are *requests* (probes toward services), structurally different from
+//! RSDoS *backscatter* (responses from victims) — the property the
+//! telescope capture filter keys on.
+
+use crate::packets::PacketEvent;
+use netmodel::{AmpVector, Ipv4, Transport};
+use serde::{Deserialize, Serialize};
+use simcore::dist::poisson;
+use simcore::{SimRng, SimTime, STUDY_DAYS};
+
+/// One Internet-wide scan campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanCampaign {
+    /// Scanner source address (not spoofed — scanners need the
+    /// answers).
+    pub scanner: Ipv4,
+    /// Service being enumerated; `None` for generic TCP port scans.
+    pub vector: Option<AmpVector>,
+    pub start: SimTime,
+    pub duration_secs: u32,
+    /// Aggregate probe rate over the whole address space.
+    pub pps: f64,
+    /// Probes sent per visited address (retries).
+    pub probes_per_target: u8,
+}
+
+/// Scan population parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanParams {
+    /// Expected scan campaigns per day across the study (Internet-wide
+    /// scanning is constant background noise).
+    pub campaigns_per_day: f64,
+    /// Fraction of campaigns enumerating amplification services (the
+    /// rest are generic scans).
+    pub amp_fraction: f64,
+}
+
+impl Default for ScanParams {
+    fn default() -> Self {
+        ScanParams {
+            campaigns_per_day: 6.0,
+            amp_fraction: 0.55,
+        }
+    }
+}
+
+/// Generate the study's scan campaigns.
+pub fn generate_scans(params: &ScanParams, rng: &SimRng) -> Vec<ScanCampaign> {
+    let mut rng = rng.fork_named("scan-campaigns");
+    let mut out = Vec::new();
+    for day in 0..STUDY_DAYS {
+        let n = poisson(&mut rng, params.campaigns_per_day);
+        for _ in 0..n {
+            let vector = if rng.chance(params.amp_fraction) {
+                Some(*rng.choose(&AmpVector::ALL))
+            } else {
+                None
+            };
+            out.push(ScanCampaign {
+                scanner: Ipv4(rng.next_u32()),
+                vector,
+                start: SimTime::from_days(day)
+                    .plus_secs(rng.u64_below(86_400) as i64),
+                duration_secs: rng.u64_range(600, 48 * 3600) as u32,
+                pps: rng.f64_range(1_000.0, 100_000.0),
+                probes_per_target: rng.u64_range(1, 3) as u8,
+            });
+        }
+    }
+    out
+}
+
+/// Synthesize the probe packets a scan sends to a given set of
+/// addresses (darknet sample or honeypot sensors).
+///
+/// Probes are *requests*: ephemeral source port, service destination
+/// port — the opposite port structure of backscatter.
+pub fn scan_probe_packets(
+    scan: &ScanCampaign,
+    targets: &[Ipv4],
+    rng: &mut SimRng,
+) -> Vec<PacketEvent> {
+    let (dst_port, transport) = match scan.vector {
+        Some(v) => (v.src_port(), Transport::Udp),
+        None => (443, Transport::Tcp),
+    };
+    let mut out = Vec::new();
+    for &target in targets {
+        for _ in 0..scan.probes_per_target {
+            let t = scan
+                .start
+                .plus_secs(rng.u64_below(scan.duration_secs.max(1) as u64) as i64);
+            out.push(PacketEvent {
+                time: t,
+                src: scan.scanner,
+                src_port: 32_768 + rng.u64_below(28_000) as u16,
+                dst: target,
+                dst_port,
+                transport,
+                size_bytes: 60,
+            });
+        }
+    }
+    out.sort_by_key(|p| p.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_deterministic_and_in_study() {
+        let a = generate_scans(&ScanParams::default(), &SimRng::new(1));
+        let b = generate_scans(&ScanParams::default(), &SimRng::new(1));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for s in &a {
+            assert!(s.start.in_study());
+            assert!(s.pps > 0.0);
+            assert!((1..=3).contains(&s.probes_per_target));
+        }
+    }
+
+    #[test]
+    fn mix_of_amp_and_generic_scans() {
+        let scans = generate_scans(&ScanParams::default(), &SimRng::new(2));
+        let amp = scans.iter().filter(|s| s.vector.is_some()).count();
+        let frac = amp as f64 / scans.len() as f64;
+        assert!((frac - 0.55).abs() < 0.05, "amp fraction {frac}");
+    }
+
+    #[test]
+    fn probes_are_requests() {
+        let scan = ScanCampaign {
+            scanner: Ipv4::new(45, 1, 2, 3),
+            vector: Some(AmpVector::Ntp),
+            start: SimTime(1000),
+            duration_secs: 3600,
+            pps: 10_000.0,
+            probes_per_target: 2,
+        };
+        let targets: Vec<Ipv4> = (0..50).map(|i| Ipv4(0x2C00_0000 + i)).collect();
+        let mut rng = SimRng::new(3);
+        let pkts = scan_probe_packets(&scan, &targets, &mut rng);
+        assert_eq!(pkts.len(), 100);
+        for p in &pkts {
+            assert_eq!(p.src, scan.scanner);
+            assert_eq!(p.dst_port, AmpVector::Ntp.src_port());
+            assert!(p.src_port >= 32_768, "probe from ephemeral port");
+            assert!(p.time >= scan.start);
+        }
+    }
+
+    #[test]
+    fn generic_scans_probe_tcp() {
+        let scan = ScanCampaign {
+            scanner: Ipv4::new(45, 1, 2, 3),
+            vector: None,
+            start: SimTime(0),
+            duration_secs: 60,
+            pps: 100.0,
+            probes_per_target: 1,
+        };
+        let mut rng = SimRng::new(4);
+        let pkts = scan_probe_packets(&scan, &[Ipv4(1)], &mut rng);
+        assert_eq!(pkts[0].transport, Transport::Tcp);
+        assert_eq!(pkts[0].dst_port, 443);
+    }
+}

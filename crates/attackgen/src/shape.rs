@@ -1,0 +1,195 @@
+//! Per-attack property distributions ("shape" parameters): durations,
+//! rates, carpet widths, reflector counts.
+//!
+//! Calibration notes (why these defaults):
+//!
+//! * Durations are log-normal with a median of a few minutes — industry
+//!   reports repeatedly state "most attacks under 10 min" (§3).
+//! * Packet rates are Pareto (heavy-tailed): most attacks are small,
+//!   a few are enormous. The tail exponent ≈ 1.1 reproduces the
+//!   telescope-size asymmetry of §6.1 — mid-size attacks clear UCSD's
+//!   detection thresholds but fall below ORION's effective sensitivity
+//!   (0.026 vs 0.60 Mbps minimum detectable rate, §5).
+//! * Reflector counts are log-normal relative to per-vector pool sizes,
+//!   sized so honeypot platforms are selected into roughly half of all
+//!   reflection attacks (Fig. 7: Hopscotch and AmpPot each saw ≈48 % of
+//!   all targets).
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{log_normal, pareto};
+use simcore::SimRng;
+
+/// Distribution parameters for individual attack properties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeParams {
+    /// Median attack duration in seconds.
+    pub duration_median_secs: f64,
+    /// Log-normal sigma of the duration.
+    pub duration_sigma: f64,
+    /// Minimum / maximum attack duration in seconds.
+    pub duration_min_secs: u32,
+    pub duration_max_secs: u32,
+    /// Pareto scale (minimum packets-per-second of an attack).
+    pub pps_min: f64,
+    /// Pareto tail exponent of attack pps.
+    pub pps_alpha: f64,
+    /// Cap on attack pps.
+    pub pps_max: f64,
+    /// Mean bytes per attack packet (converts pps to bps).
+    pub bytes_per_packet: f64,
+    /// Probability that a reflection attack carpet-bombs a block.
+    pub carpet_probability: f64,
+    /// Carpet width range (number of targeted addresses).
+    pub carpet_min_targets: u32,
+    pub carpet_max_targets: u32,
+    /// Median number of reflectors abused per reflection attack.
+    pub reflector_median: f64,
+    pub reflector_sigma: f64,
+    /// Probability that an attack is accompanied by an attack of the
+    /// *other* class on the same target (multi-vector attacks; drives
+    /// the 1.57 % multi-type target share of §7.1).
+    pub multi_class_probability: f64,
+    /// Probability that a spoofed attack rotates sources over only part
+    /// of the address space (§6.1 reasons (ii)/(iii)).
+    pub partial_spoof_probability: f64,
+    /// Range of the partial spoof-space fraction.
+    pub partial_spoof_min: f64,
+    pub partial_spoof_max: f64,
+}
+
+impl Default for ShapeParams {
+    fn default() -> Self {
+        ShapeParams {
+            duration_median_secs: 300.0,
+            duration_sigma: 1.1,
+            duration_min_secs: 30,
+            duration_max_secs: 48 * 3600,
+            pps_min: 1000.0,
+            pps_alpha: 1.15,
+            pps_max: 5.0e7,
+            bytes_per_packet: 420.0,
+            carpet_probability: 0.03,
+            carpet_min_targets: 8,
+            carpet_max_targets: 64,
+            reflector_median: 4000.0,
+            reflector_sigma: 1.0,
+            multi_class_probability: 0.04,
+            partial_spoof_probability: 0.30,
+            partial_spoof_min: 0.15,
+            partial_spoof_max: 0.90,
+        }
+    }
+}
+
+impl ShapeParams {
+    /// Sample an attack duration in seconds.
+    pub fn sample_duration(&self, rng: &mut SimRng) -> u32 {
+        let d = log_normal(rng, self.duration_median_secs.ln(), self.duration_sigma);
+        (d as u32).clamp(self.duration_min_secs, self.duration_max_secs)
+    }
+
+    /// Sample an aggregate packet rate (pps).
+    pub fn sample_pps(&self, rng: &mut SimRng) -> f64 {
+        pareto(rng, self.pps_min, self.pps_alpha).min(self.pps_max)
+    }
+
+    /// Convert a packet rate to a bit rate.
+    pub fn pps_to_bps(&self, pps: f64) -> f64 {
+        pps * self.bytes_per_packet * 8.0
+    }
+
+    /// Sample a carpet width (number of target addresses).
+    pub fn sample_carpet_width(&self, rng: &mut SimRng) -> u32 {
+        rng.u64_range(self.carpet_min_targets as u64, self.carpet_max_targets as u64) as u32
+    }
+
+    /// Sample the number of reflectors abused, capped by the pool size.
+    pub fn sample_reflector_count(&self, pool: u64, rng: &mut SimRng) -> u32 {
+        let k = log_normal(rng, self.reflector_median.ln(), self.reflector_sigma);
+        (k as u64).clamp(10, pool) as u32
+    }
+
+    /// Sample the spoof-space fraction for a spoofed attack.
+    pub fn sample_spoof_space(&self, rng: &mut SimRng) -> f64 {
+        if rng.chance(self.partial_spoof_probability) {
+            rng.f64_range(self.partial_spoof_min, self.partial_spoof_max)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xBEEF)
+    }
+
+    #[test]
+    fn durations_bounded_and_mostly_short() {
+        let p = ShapeParams::default();
+        let mut r = rng();
+        let samples: Vec<u32> = (0..20_000).map(|_| p.sample_duration(&mut r)).collect();
+        assert!(samples.iter().all(|&d| (30..=48 * 3600).contains(&d)));
+        // "most attacks under 10 min"
+        let short = samples.iter().filter(|&&d| d < 600).count();
+        assert!(short as f64 / samples.len() as f64 > 0.6);
+    }
+
+    #[test]
+    fn pps_heavy_tail_but_capped() {
+        let p = ShapeParams::default();
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| p.sample_pps(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= p.pps_min && x <= p.pps_max));
+        // Heavy tail: the max dwarfs the median.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(sorted[sorted.len() - 1] > 100.0 * median);
+    }
+
+    #[test]
+    fn bps_conversion() {
+        let p = ShapeParams::default();
+        assert_eq!(p.pps_to_bps(1000.0), 1000.0 * 420.0 * 8.0);
+    }
+
+    #[test]
+    fn carpet_width_in_range() {
+        let p = ShapeParams::default();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let w = p.sample_carpet_width(&mut r);
+            assert!((8..=96).contains(&w));
+        }
+    }
+
+    #[test]
+    fn reflector_count_capped_by_pool() {
+        let p = ShapeParams::default();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = p.sample_reflector_count(500, &mut r);
+            assert!((10..=500).contains(&k));
+        }
+        // Large pool: should see values above 500 sometimes.
+        let any_large = (0..1000).any(|_| p.sample_reflector_count(1_000_000, &mut r) > 500);
+        assert!(any_large);
+    }
+
+    #[test]
+    fn spoof_space_full_or_partial() {
+        let p = ShapeParams::default();
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| p.sample_spoof_space(&mut r)).collect();
+        let full = samples.iter().filter(|&&f| f == 1.0).count() as f64;
+        let frac_full = full / samples.len() as f64;
+        assert!((frac_full - 0.7).abs() < 0.05, "full fraction {frac_full}");
+        assert!(samples
+            .iter()
+            .all(|&f| f == 1.0 || (0.15..=0.90).contains(&f)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * event-level vs packet-level observation cost — the reason the
+//!   macro study uses the analytic path;
+//! * attack generation with and without campaign layering;
+//! * carpet-bombing reconstruction cost on honeypot streams;
+//! * observatory fan-out: serial vs the pipeline's concurrent scope.
+
+use attackgen::packets::backscatter_packets;
+use attackgen::{AttackClass, AttackGenerator, GenConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use honeypot::{reconstruct_carpet_attacks, Honeypot};
+use netmodel::{InternetPlan, NetScale};
+use simcore::SimRng;
+use std::hint::black_box;
+use telescope::{RsdosConfig, RsdosDetector, Telescope};
+
+fn plan() -> InternetPlan {
+    let mut rng = SimRng::new(11);
+    InternetPlan::build(&NetScale::tiny(), &mut rng)
+}
+
+fn small_gen_cfg(campaigns: bool) -> GenConfig {
+    let mut cfg = GenConfig::default();
+    cfg.timeline.dp_base_per_week = 40.0;
+    cfg.timeline.ra_base_per_week = 60.0;
+    if !campaigns {
+        cfg.random_campaign_count = 0;
+        cfg.campaign_rate_scale = 0.0;
+    } else {
+        cfg.random_campaign_count = 8;
+        cfg.campaign_rate_scale = 0.125;
+    }
+    cfg
+}
+
+fn bench_fidelity_ablation(c: &mut Criterion) {
+    let plan = plan();
+    let root = SimRng::new(12);
+    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
+    let mut attacks = Vec::new();
+    for week in 0..26 {
+        gen.generate_week(week, &mut attacks);
+    }
+    let rsdos: Vec<&attackgen::Attack> = attacks
+        .iter()
+        .filter(|a| a.class == AttackClass::DirectPathSpoofed)
+        .take(200)
+        .collect();
+    let tele = Telescope::ucsd(&plan);
+    let mut group = c.benchmark_group("fidelity_ablation");
+    group.throughput(Throughput::Elements(rsdos.len() as u64));
+    group.bench_function("event_level_200_attacks", |b| {
+        b.iter(|| {
+            let mut seen = 0usize;
+            for a in &rsdos {
+                seen += tele.observe(black_box(a), &root).is_some() as usize;
+            }
+            black_box(seen)
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("packet_level_200_attacks", |b| {
+        b.iter(|| {
+            let mut seen = 0usize;
+            for a in &rsdos {
+                let mut prng = root.fork(a.id.0).fork_named("ablation");
+                let pkts = backscatter_packets(a, &tele.spec, &mut prng);
+                let mut det = RsdosDetector::new(RsdosConfig::default());
+                for p in &pkts {
+                    det.ingest(p);
+                }
+                seen += (!det.finish().is_empty()) as usize;
+            }
+            black_box(seen)
+        })
+    });
+    group.finish();
+}
+
+fn bench_campaign_ablation(c: &mut Criterion) {
+    let plan = plan();
+    let root = SimRng::new(13);
+    let mut group = c.benchmark_group("campaign_ablation");
+    group.sample_size(10);
+    for (label, campaigns) in [("without_campaigns", false), ("with_campaigns", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut gen = AttackGenerator::new(&plan, small_gen_cfg(campaigns), &root);
+                black_box(gen.generate_study().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_carpet_reconstruction(c: &mut Criterion) {
+    let plan = plan();
+    let root = SimRng::new(14);
+    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(true), &root);
+    let attacks = gen.generate_study();
+    let hp = Honeypot::hopscotch(&plan);
+    let raw = hp.observe_all(&attacks, &root);
+    let mut group = c.benchmark_group("carpet_reconstruction");
+    group.throughput(Throughput::Elements(raw.len() as u64));
+    group.bench_function("appendix_i_merge", |b| {
+        b.iter(|| {
+            let merged = reconstruct_carpet_attacks(&plan, black_box(&raw), 3600);
+            black_box(merged.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout_ablation(c: &mut Criterion) {
+    let plan = plan();
+    let root = SimRng::new(15);
+    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
+    let attacks = gen.generate_study();
+    let ucsd = Telescope::ucsd(&plan);
+    let orion = Telescope::orion(&plan);
+    let hops = Honeypot::hopscotch(&plan);
+    let amppot = Honeypot::amppot(&plan);
+    let mut group = c.benchmark_group("fanout_ablation");
+    group.sample_size(10);
+    group.bench_function("serial_four_observatories", |b| {
+        b.iter(|| {
+            let a = ucsd.observe_all(&attacks, &root).len();
+            let b2 = orion.observe_all(&attacks, &root).len();
+            let c2 = hops.observe_all(&attacks, &root).len();
+            let d = amppot.observe_all(&attacks, &root).len();
+            black_box(a + b2 + c2 + d)
+        })
+    });
+    group.bench_function("concurrent_four_observatories", |b| {
+        b.iter(|| {
+            let mut results = [0usize; 4];
+            let (r0, rest) = results.split_at_mut(1);
+            let (r1, rest2) = rest.split_at_mut(1);
+            let (r2, r3) = rest2.split_at_mut(1);
+            crossbeam::thread::scope(|s| {
+                s.spawn(|_| r0[0] = ucsd.observe_all(&attacks, &root).len());
+                s.spawn(|_| r1[0] = orion.observe_all(&attacks, &root).len());
+                s.spawn(|_| r2[0] = hops.observe_all(&attacks, &root).len());
+                s.spawn(|_| r3[0] = amppot.observe_all(&attacks, &root).len());
+            })
+            .unwrap();
+            black_box(results.iter().sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fidelity_ablation,
+    bench_campaign_ablation,
+    bench_carpet_reconstruction,
+    bench_fanout_ablation
+);
+criterion_main!(benches);

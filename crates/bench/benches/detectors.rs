@@ -1,0 +1,214 @@
+//! Micro-benchmarks of the detection and analytics hot paths: Corsaro
+//! packet ingestion, honeypot flow detection, LPM lookups, correlation
+//! matrices and the UpSet join.
+
+use attackgen::PacketEvent;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use honeypot::{HoneypotConfig, HoneypotDetector};
+use netmodel::{AmpVector, InternetPlan, Ipv4, NetScale, Prefix, PrefixTable, Transport};
+use simcore::{SimRng, SimTime};
+use std::hint::black_box;
+use telescope::{RsdosConfig, RsdosDetector};
+
+fn plan() -> InternetPlan {
+    let mut rng = SimRng::new(1);
+    InternetPlan::build(&NetScale::tiny(), &mut rng)
+}
+
+/// A mixed backscatter stream: 200 sources, Poisson-ish arrival.
+fn backscatter_stream(n: usize) -> Vec<PacketEvent> {
+    let mut rng = SimRng::new(2);
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0i64;
+    for _ in 0..n {
+        t += rng.u64_below(3) as i64;
+        out.push(PacketEvent {
+            time: SimTime(t),
+            src: Ipv4(1000 + rng.u64_below(200) as u32),
+            src_port: 80,
+            dst: Ipv4(0x2C00_0000 + rng.next_u32() % 4096),
+            dst_port: 50_000,
+            transport: Transport::Tcp,
+            size_bytes: 60,
+        });
+    }
+    out
+}
+
+fn bench_corsaro(c: &mut Criterion) {
+    let stream = backscatter_stream(100_000);
+    let mut group = c.benchmark_group("corsaro");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("ingest_100k_packets", |b| {
+        b.iter(|| {
+            let mut det = RsdosDetector::new(RsdosConfig::default());
+            for p in &stream {
+                det.ingest(black_box(p));
+            }
+            black_box(det.finish().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_honeypot_detector(c: &mut Criterion) {
+    let plan = plan();
+    let cfg = HoneypotConfig::hopscotch(&plan);
+    let sensor = cfg.sensors[0];
+    let mut rng = SimRng::new(3);
+    let stream: Vec<PacketEvent> = (0..100_000)
+        .map(|i| PacketEvent {
+            time: SimTime(i / 50),
+            src: Ipv4(5000 + rng.u64_below(500) as u32),
+            src_port: 55_555,
+            dst: sensor,
+            dst_port: AmpVector::Dns.src_port(),
+            transport: Transport::Udp,
+            size_bytes: 64,
+        })
+        .collect();
+    let mut group = c.benchmark_group("honeypot");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("hopscotch_ingest_100k", |b| {
+        b.iter(|| {
+            let mut det = HoneypotDetector::new(cfg.clone());
+            for p in &stream {
+                det.ingest(black_box(p));
+            }
+            black_box(det.finish().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let plan = plan();
+    let mut rng = SimRng::new(4);
+    let probes: Vec<Ipv4> = (0..10_000).map(|_| Ipv4(rng.next_u32())).collect();
+    let mut group = c.benchmark_group("lpm");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("trie_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &ip in &probes {
+                hits += plan.routed.lookup(black_box(ip)).is_some() as usize;
+            }
+            black_box(hits)
+        })
+    });
+    // Ablation reference: linear scan over the same table.
+    let entries: Vec<(Prefix, netmodel::Asn)> =
+        plan.routed.iter().map(|(p, a)| (p, *a)).collect();
+    group.bench_function("linear_scan_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &ip in &probes {
+                hits += entries
+                    .iter()
+                    .filter(|(p, _)| p.contains(ip))
+                    .max_by_key(|(p, _)| p.len())
+                    .is_some() as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut rng = SimRng::new(5);
+    let series: Vec<analytics::WeeklySeries> = (0..10)
+        .map(|i| {
+            analytics::WeeklySeries::new(
+                format!("s{i}"),
+                (0..simcore::STUDY_WEEKS).map(|_| rng.f64() * 100.0).collect(),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("analytics");
+    group.bench_function("spearman_matrix_10x235", |b| {
+        b.iter(|| {
+            let m = analytics::correlation_matrix(black_box(&series), analytics::Method::Spearman);
+            black_box(m.cells.len())
+        })
+    });
+    let sets: Vec<(String, Vec<analytics::TargetTuple>)> = (0..4)
+        .map(|i| {
+            let tuples: Vec<analytics::TargetTuple> = (0..100_000)
+                .map(|_| (rng.u64_below(1642) as i64, Ipv4(rng.u64_below(200_000) as u32)))
+                .collect();
+            (format!("set{i}"), tuples)
+        })
+        .collect();
+    group.bench_function("upset_4x100k_tuples", |b| {
+        b.iter(|| {
+            let u = analytics::upset(black_box(&sets));
+            black_box(u.total_distinct)
+        })
+    });
+    group.finish();
+}
+
+fn bench_trie_build(c: &mut Criterion) {
+    let mut rng = SimRng::new(6);
+    let prefixes: Vec<(Prefix, u32)> = (0..20_000)
+        .map(|i| {
+            let len = 8 + rng.u64_below(17) as u8;
+            (Prefix::new(Ipv4(rng.next_u32()), len), i)
+        })
+        .collect();
+    let mut group = c.benchmark_group("trie");
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function("insert_20k_prefixes", |b| {
+        b.iter(|| {
+            let mut t = PrefixTable::new();
+            for &(p, v) in &prefixes {
+                t.insert(black_box(p), v);
+            }
+            black_box(t.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    use attackgen::{BooterMarket, BooterMarketParams, SavModel, SavParams};
+    let plan = plan();
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("sav_model_build", |b| {
+        b.iter(|| {
+            let m = SavModel::build(&plan, SavParams::default(), &SimRng::new(7));
+            black_box(m.as_count())
+        })
+    });
+    group.bench_function("booter_market_235_weeks", |b| {
+        b.iter(|| {
+            let m = BooterMarket::simulate(BooterMarketParams::default(), &SimRng::new(7));
+            black_box(m.capacity_at_week(200))
+        })
+    });
+    let series = analytics::WeeklySeries::new(
+        "x",
+        (0..simcore::STUDY_WEEKS)
+            .map(|i| 10.0 + 0.02 * i as f64 + ((i * 7) % 13) as f64)
+            .collect(),
+    );
+    group.bench_function("bootstrap_400_replicates", |b| {
+        b.iter(|| {
+            let iv = analytics::trend_interval(&series, 8, 400, &mut SimRng::new(3));
+            black_box(iv)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_corsaro,
+    bench_honeypot_detector,
+    bench_lpm,
+    bench_analytics,
+    bench_trie_build,
+    bench_substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! One Criterion benchmark per paper table/figure: each bench times the
+//! regeneration of that artifact from a completed study run (the run
+//! itself is shared setup), plus a bench for the end-to-end pipeline.
+//!
+//! These are the DESIGN.md "bench target per experiment" entries:
+//! bench_table1 … bench_fig14, bench_stats7, bench_detval and
+//! bench_pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddoscovery::{all_ids, run_experiment, StudyConfig, StudyRun};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn shared_run() -> &'static StudyRun {
+    static RUN: OnceLock<StudyRun> = OnceLock::new();
+    RUN.get_or_init(|| StudyRun::execute(&StudyConfig::quick()))
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let run = shared_run();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for id in all_ids() {
+        group.bench_function(format!("bench_{id}"), |b| {
+            b.iter(|| {
+                let result = run_experiment(black_box(run), id).unwrap();
+                black_box(result.body.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    // End-to-end: internet + attacks + all observatories.
+    group.bench_function("full_quick_study", |b| {
+        b.iter(|| {
+            let run = StudyRun::execute(black_box(&StudyConfig::quick()));
+            black_box(run.attacks.len())
+        })
+    });
+    // Aggregation only.
+    let run = shared_run();
+    group.bench_function("weekly_series_all_ten", |b| {
+        b.iter(|| {
+            let series = run.all_ten_normalized();
+            black_box(series.len())
+        })
+    });
+    group.bench_function("target_tuples_hopscotch", |b| {
+        b.iter(|| black_box(run.target_tuples(ddoscovery::ObsId::Hopscotch).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! `ddoscovery-bench` — the Criterion benchmark harness.
+//!
+//! Three bench binaries:
+//! * `experiments` — one `bench_<id>` per paper table/figure plus the
+//!   end-to-end pipeline;
+//! * `detectors` — hot-path micro-benchmarks (Corsaro ingest, honeypot
+//!   flow detection, LPM, correlation matrices, UpSet);
+//! * `ablations` — design-choice ablations (event vs packet fidelity,
+//!   campaign layering, Appendix-I reconstruction, observatory
+//!   fan-out).
+//!
+//! Run everything with `cargo bench --workspace`.

@@ -1,0 +1,184 @@
+//! `ddoscovery` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ddoscovery list                         # experiment ids + titles
+//! ddoscovery run [--quick] [--seed N] [--out DIR] [IDS...]
+//! ddoscovery config                       # dump the study config JSON
+//! ddoscovery trends [--quick] [--seed N]  # one-screen Table-1 summary
+//! ```
+
+use ddoscovery::{all_ids, run_experiment, ObsId, StudyConfig, StudyRun};
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ddoscovery <command> [options]\n\n\
+         commands:\n\
+         \u{20}  list                         list experiment ids\n\
+         \u{20}  run [opts] [IDS...]          run experiments (default: all)\n\
+         \u{20}  trends [opts]                print the Table-1 trend summary\n\
+         \u{20}  config                       print the default study config as JSON\n\n\
+         options:\n\
+         \u{20}  --quick        scaled-down study (~1/8 volume)\n\
+         \u{20}  --seed N       master seed (default 0xDD05C0DE)\n\
+         \u{20}  --out DIR      CSV output directory (default: results)"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    quick: bool,
+    seed: Option<u64>,
+    out: String,
+    ids: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        seed: None,
+        out: "results".into(),
+        ids: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                let v = v.trim_start_matches("0x");
+                opts.seed = Some(
+                    u64::from_str_radix(v, 16)
+                        .or_else(|_| v.parse())
+                        .map_err(|_| format!("bad seed {v:?}"))?,
+                );
+            }
+            "--out" => opts.out = it.next().ok_or("--out needs a value")?.clone(),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"));
+            }
+            id => opts.ids.push(id.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_config(opts: &Options) -> StudyConfig {
+    let mut cfg = if opts.quick {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper()
+    };
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    cfg
+}
+
+fn cmd_list() -> ExitCode {
+    // Titles need a run for some experiments; print ids with the static
+    // descriptions from the registry docs instead.
+    for id in all_ids() {
+        println!("{id}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_config() -> ExitCode {
+    match serde_json::to_string_pretty(&StudyConfig::paper()) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let wanted: Vec<&str> = if opts.ids.is_empty() {
+        all_ids().to_vec()
+    } else {
+        opts.ids.iter().map(|s| s.as_str()).collect()
+    };
+    for id in &wanted {
+        if !all_ids().contains(id) {
+            eprintln!("unknown experiment {id:?}; known: {:?}", all_ids());
+            return ExitCode::from(2);
+        }
+    }
+    let cfg = build_config(opts);
+    eprintln!(
+        "running {} study (seed {:#x}) ...",
+        if opts.quick { "quick" } else { "paper-scale" },
+        cfg.seed
+    );
+    let started = std::time::Instant::now();
+    let run = StudyRun::execute(&cfg);
+    eprintln!(
+        "{} attacks observed in {:.1?}",
+        run.attacks.len(),
+        started.elapsed()
+    );
+    let out_dir = Path::new(&opts.out);
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for id in wanted {
+        let result = run_experiment(&run, id).expect("validated id");
+        println!("== [{}] {} ==\n{}", result.id, result.title, result.body);
+        for (name, contents) in &result.csv {
+            let path = out_dir.join(name);
+            if let Err(e) = fs::write(&path, contents) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  -> {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trends(opts: &Options) -> ExitCode {
+    let cfg = build_config(opts);
+    let run = StudyRun::execute(&cfg);
+    println!("{:16} {:>8}  type  trend", "observatory", "attacks");
+    for id in ObsId::MAIN_TEN {
+        let s = run.normalized_series(id);
+        println!(
+            "{:16} {:>8}  {:4}  {}",
+            id.name(),
+            run.observations(id).len(),
+            if id.is_direct_path() { "DP" } else { "RA" },
+            s.trend().symbol()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    match command.as_str() {
+        "list" => cmd_list(),
+        "config" => cmd_config(),
+        "run" => cmd_run(&opts),
+        "trends" => cmd_trends(&opts),
+        _ => usage(),
+    }
+}

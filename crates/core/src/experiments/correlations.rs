@@ -1,0 +1,141 @@
+//! Correlation experiments: Fig. 6 (Spearman matrices with p-values,
+//! Pearson cross-check) and Fig. 14 (quarterly pairwise boxes).
+
+use super::ExperimentResult;
+use crate::pipeline::{ObsId, StudyRun};
+use crate::render::{fmt_corr, text_table};
+use analytics::{
+    box_stats, correlation_matrix, quarterly_correlations, CorrelationMatrix, Method,
+    WeeklySeries,
+};
+
+fn matrix_block(m: &CorrelationMatrix) -> String {
+    let short: Vec<String> = m
+        .names
+        .iter()
+        .map(|n| {
+            n.replace("Netscout", "NS")
+                .replace("Akamai", "AK")
+                .replace("Hopscotch", "Hops")
+        })
+        .collect();
+    let mut headers: Vec<&str> = vec![""];
+    headers.extend(short.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = (0..m.names.len())
+        .map(|i| {
+            let mut row = vec![short[i].clone()];
+            for j in 0..m.names.len() {
+                row.push(fmt_corr(m.get(i, j)));
+            }
+            row
+        })
+        .collect();
+    text_table(&headers, &rows)
+}
+
+fn matrix_csv(m: &CorrelationMatrix) -> String {
+    let mut out = String::from("a,b,rho,p_value,n\n");
+    for i in 0..m.names.len() {
+        for j in 0..m.names.len() {
+            if let Some(c) = m.get(i, j) {
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.6},{}\n",
+                    m.names[i], m.names[j], c.rho, c.p_value, c.n
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 6: Spearman correlation matrices over the ten series, raw and
+/// EWMA-smoothed, with insignificant (p > 0.05) coefficients bracketed;
+/// plus the Pearson cross-check (§6.3).
+pub fn fig6(run: &StudyRun) -> ExperimentResult {
+    let raw = run.all_ten_normalized();
+    let smoothed: Vec<WeeklySeries> = raw.iter().map(|s| s.ewma(12)).collect();
+    let spearman_raw = correlation_matrix(&raw, Method::Spearman);
+    let spearman_ewma = correlation_matrix(&smoothed, Method::Spearman);
+    let pearson_raw = correlation_matrix(&raw, Method::Pearson);
+
+    let mut body = String::from("Spearman (normalized weekly counts), [x] = p > 0.05:\n");
+    body.push_str(&matrix_block(&spearman_raw));
+    body.push_str("\nSpearman (EWMA):\n");
+    body.push_str(&matrix_block(&spearman_ewma));
+    body.push_str("\nPearson cross-check (normalized):\n");
+    body.push_str(&matrix_block(&pearson_raw));
+
+    // Same-type vs cross-type summary (the paper's headline reading).
+    let mean_group = |m: &CorrelationMatrix, same: bool| -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let same_type =
+                    ObsId::MAIN_TEN[i].is_direct_path() == ObsId::MAIN_TEN[j].is_direct_path();
+                if same_type == same {
+                    if let Some(c) = m.get(i, j) {
+                        acc += c.rho;
+                        n += 1;
+                    }
+                }
+            }
+        }
+        acc / n.max(1) as f64
+    };
+    let same = mean_group(&spearman_raw, true);
+    let cross = mean_group(&spearman_raw, false);
+    body.push_str(&format!(
+        "\nMean pairwise Spearman: same attack type {same:+.2}, cross-type {cross:+.2}\n"
+    ));
+
+    ExperimentResult {
+        id: "fig6",
+        title: "Figure 6: Spearman correlation matrices with p-values".into(),
+        body,
+        csv: vec![
+            ("fig6_spearman_raw.csv".into(), matrix_csv(&spearman_raw)),
+            ("fig6_spearman_ewma.csv".into(), matrix_csv(&spearman_ewma)),
+            ("fig6_pearson_raw.csv".into(), matrix_csv(&pearson_raw)),
+        ],
+    }
+}
+
+/// Fig. 14 (Appendix F): quarterly pairwise Spearman correlations as
+/// box statistics over the study's 18 quarters.
+pub fn fig14(run: &StudyRun) -> ExperimentResult {
+    let series = run.all_ten_normalized();
+    let mut rows = Vec::new();
+    let mut csv = String::from("a,b,min,q1,median,mean,q3,max,quarters\n");
+    for i in 0..series.len() {
+        for j in (i + 1)..series.len() {
+            let qs = quarterly_correlations(&series[i], &series[j]);
+            if let Some(b) = box_stats(&qs) {
+                rows.push(vec![
+                    format!("{} & {}", series[i].name, series[j].name),
+                    format!("{:+.2}", b.min),
+                    format!("{:+.2}", b.q1),
+                    format!("{:+.2}", b.median),
+                    format!("{:+.2}", b.mean),
+                    format!("{:+.2}", b.q3),
+                    format!("{:+.2}", b.max),
+                    format!("{}", b.n),
+                ]);
+                csv.push_str(&format!(
+                    "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
+                    series[i].name, series[j].name, b.min, b.q1, b.median, b.mean, b.q3, b.max, b.n
+                ));
+            }
+        }
+    }
+    let body = text_table(
+        &["Pair", "min", "q1", "med", "mean", "q3", "max", "#q"],
+        &rows,
+    );
+    ExperimentResult {
+        id: "fig14",
+        title: "Figure 14 (App. F): quarterly pairwise Spearman correlation boxes".into(),
+        body,
+        csv: vec![("fig14_quarterly_boxes.csv".into(), csv)],
+    }
+}

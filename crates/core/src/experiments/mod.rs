@@ -1,0 +1,136 @@
+//! The experiment registry: one entry per table and figure of the
+//! paper, each regenerating its artifact from a [`StudyRun`].
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `table1`  | Table 1 — trend matrix + industry claim counts |
+//! | `table2`  | Table 2 — observatory parameters (from live configs) |
+//! | `table3`  | Table 3 — industry report corpus |
+//! | `table4`  | Table 4 — top-10 ASes by highly-visible targets |
+//! | `fig2`    | Fig. 2 — normalized weekly direct-path counts |
+//! | `fig3`    | Fig. 3 — normalized weekly RA counts + takedowns |
+//! | `fig4`    | Fig. 4 — ten-series heatmap |
+//! | `fig5`    | Fig. 5 — Netscout RA/DP share and 50 % crossing |
+//! | `fig6`    | Fig. 6 — Spearman matrices (raw + EWMA) with p-values |
+//! | `fig7`    | Fig. 7 — UpSet of academic target sets |
+//! | `fig8`    | Fig. 8 — highly-visible targets over time + CDF |
+//! | `fig9`    | Fig. 9 — Netscout confirmation of academic targets |
+//! | `fig10`   | Fig. 10 — telescope / honeypot target overlap series |
+//! | `fig12`   | Fig. 12 (App. D) — NewKid trends |
+//! | `fig13`   | Fig. 13 (App. G) — Akamai confirmation shares |
+//! | `fig14`   | Fig. 14 (App. F) — quarterly correlation boxes |
+//! | `stats7`  | §7 scalar statistics |
+//! | `detval`  | packet-level vs event-level detector agreement |
+//! | `lags`    | extension: lead/lag structure between observatories |
+//! | `vendor_reports` | extension: synthetic vendor claims vs the corpus |
+//! | `protocols` | extension (§7.3): per-protocol honeypot composition |
+//! | `interference` | extension (§5): mitigation vs telescope visibility |
+//! | `rtbh`    | extension (§2.3): blackholing mechanics and collateral |
+//! | `seasonality` | extension (§6.1): first-half-of-year peaks |
+//! | `l7`      | extension (§3): application-layer attack growth |
+//! | `population` | extension (§3 metrics): ground-truth population summary |
+
+mod correlations;
+mod extensions;
+mod detval;
+mod tables;
+mod targets;
+mod trends;
+
+use crate::pipeline::StudyRun;
+
+/// Output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    pub id: &'static str,
+    pub title: String,
+    /// Human-readable rendering (tables / series summaries).
+    pub body: String,
+    /// Machine-readable artifacts: (file name, CSV contents).
+    pub csv: Vec<(String, String)>,
+}
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "stats7", "detval", "lags",
+        "vendor_reports", "protocols", "interference", "rtbh", "seasonality", "l7",
+        "population",
+    ]
+}
+
+/// Run a single experiment by id.
+pub fn run_experiment(run: &StudyRun, id: &str) -> Option<ExperimentResult> {
+    Some(match id {
+        "table1" => tables::table1(run),
+        "table2" => tables::table2(run),
+        "table3" => tables::table3(run),
+        "table4" => tables::table4(run),
+        "fig2" => trends::fig2(run),
+        "fig3" => trends::fig3(run),
+        "fig4" => trends::fig4(run),
+        "fig5" => trends::fig5(run),
+        "fig6" => correlations::fig6(run),
+        "fig7" => targets::fig7(run),
+        "fig8" => targets::fig8(run),
+        "fig9" => targets::fig9(run),
+        "fig10" => targets::fig10(run),
+        "fig12" => trends::fig12(run),
+        "fig13" => targets::fig13(run),
+        "fig14" => correlations::fig14(run),
+        "stats7" => targets::stats7(run),
+        "detval" => detval::detval(run),
+        "lags" => extensions::lags(run),
+        "vendor_reports" => extensions::vendor_reports(run),
+        "protocols" => extensions::protocols(run),
+        "interference" => extensions::interference(run),
+        "rtbh" => extensions::rtbh(run),
+        "seasonality" => extensions::seasonality(run),
+        "l7" => extensions::l7_growth(run),
+        "population" => extensions::population(run),
+        _ => return None,
+    })
+}
+
+/// Run every experiment.
+pub fn run_all(run: &StudyRun) -> Vec<ExperimentResult> {
+    all_ids()
+        .iter()
+        .map(|id| run_experiment(run, id).expect("registered id"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StudyConfig;
+    use std::sync::OnceLock;
+
+    fn quick_run() -> &'static StudyRun {
+        static RUN: OnceLock<StudyRun> = OnceLock::new();
+        RUN.get_or_init(|| StudyRun::execute(&StudyConfig::quick()))
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        let run = quick_run();
+        for id in all_ids() {
+            let r = run_experiment(run, id).unwrap_or_else(|| panic!("{id} missing"));
+            assert_eq!(&r.id, id);
+            assert!(!r.title.is_empty());
+            assert!(!r.body.is_empty(), "{id} has empty body");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment(quick_run(), "fig99").is_none());
+    }
+
+    #[test]
+    fn run_all_covers_registry() {
+        let results = run_all(quick_run());
+        assert_eq!(results.len(), all_ids().len());
+    }
+}

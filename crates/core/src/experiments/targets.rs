@@ -1,0 +1,291 @@
+//! Target-analysis experiments (§7): Fig. 7 (UpSet), Fig. 8
+//! (highly-visible targets over time), Fig. 9/13 (industry confirmation
+//! joins), Fig. 10 (overlap time series), and the §7 scalar statistics.
+
+use super::ExperimentResult;
+use crate::pipeline::{ObsId, StudyRun};
+use crate::render::{series_csv, sparkline, text_table};
+use analytics::{
+    confirmation_shares, ip_overlap_share, new_vs_recurring, upset, weekly_overlap,
+    TargetTuple, UpsetAnalysis, WeeklySeries,
+};
+use std::collections::HashMap;
+
+fn academic_sets(run: &StudyRun) -> Vec<(String, Vec<TargetTuple>)> {
+    ObsId::ACADEMIC
+        .iter()
+        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .collect()
+}
+
+/// Fig. 7: UpSet decomposition of (date, IP) targets across the four
+/// academic observatories.
+pub fn fig7(run: &StudyRun) -> ExperimentResult {
+    let sets = academic_sets(run);
+    let u = upset(&sets);
+    let mut body = format!(
+        "Distinct targets: {} tuples over {} IP addresses\n\nSet sizes (non-exclusive):\n",
+        u.total_distinct, u.distinct_ips
+    );
+    for (i, name) in u.names.iter().enumerate() {
+        body.push_str(&format!(
+            "  {:10} {:8} ({:.1}% of all targets)\n",
+            name,
+            u.set_sizes[i],
+            100.0 * u.set_sizes[i] as f64 / u.total_distinct.max(1) as f64
+        ));
+    }
+    body.push_str("\nExclusive intersections (UpSet bars):\n");
+    let mut masks: Vec<(u16, usize)> = u.exclusive.iter().map(|(&m, &c)| (m, c)).collect();
+    masks.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let mut csv = String::from("combination,mask,count,share\n");
+    for (mask, count) in masks {
+        let label = u.mask_label(mask);
+        body.push_str(&format!(
+            "  {:30} {:8} ({:.2}%)\n",
+            label,
+            count,
+            100.0 * u.share(mask)
+        ));
+        csv.push_str(&format!(
+            "{},{:04b},{},{:.6}\n",
+            label,
+            mask,
+            count,
+            u.share(mask)
+        ));
+    }
+    body.push_str(&format!(
+        "\nSeen by all four observatories: {:.2}% | ORION targets also in UCSD: {:.1}% | AmpPot targets shared with Hopscotch: {:.1}%\n",
+        100.0 * u.at_least(u.full_mask()) as f64 / u.total_distinct.max(1) as f64,
+        100.0 * u.overlap_share(orion_idx(&u), ucsd_idx(&u)),
+        100.0 * u.overlap_share(amppot_idx(&u), hopscotch_idx(&u)),
+    ));
+    ExperimentResult {
+        id: "fig7",
+        title: "Figure 7: UpSet of academic target sets".into(),
+        body,
+        csv: vec![("fig7_upset.csv".into(), csv)],
+    }
+}
+
+fn idx_of(u: &UpsetAnalysis, name: &str) -> usize {
+    u.names.iter().position(|n| n == name).expect("set present")
+}
+fn orion_idx(u: &UpsetAnalysis) -> usize {
+    idx_of(u, "ORION")
+}
+fn ucsd_idx(u: &UpsetAnalysis) -> usize {
+    idx_of(u, "UCSD")
+}
+fn amppot_idx(u: &UpsetAnalysis) -> usize {
+    idx_of(u, "AmpPot")
+}
+fn hopscotch_idx(u: &UpsetAnalysis) -> usize {
+    idx_of(u, "Hopscotch")
+}
+
+/// The (day, ip) tuples seen by every academic observatory.
+fn all_four_tuples(run: &StudyRun) -> Vec<TargetTuple> {
+    let sets = academic_sets(run);
+    let mut membership: HashMap<TargetTuple, u16> = HashMap::new();
+    for (i, (_, tuples)) in sets.iter().enumerate() {
+        for &t in tuples {
+            *membership.entry(t).or_insert(0) |= 1 << i;
+        }
+    }
+    let full = (1u16 << sets.len()) - 1;
+    membership
+        .into_iter()
+        .filter(|&(_, m)| m == full)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Fig. 8: weekly highly-visible targets split into new vs recurring
+/// IPs, plus the cumulative-new-target CDF.
+pub fn fig8(run: &StudyRun) -> ExperimentResult {
+    let tuples = all_four_tuples(run);
+    let nr = new_vs_recurring(&tuples);
+    let new_s = WeeklySeries::new("new targets", nr.new_targets.clone());
+    let rec_s = WeeklySeries::new("recurring targets", nr.recurring_targets.clone());
+    let cdf_s = WeeklySeries::new("CDF", nr.cdf.clone());
+    let body = format!(
+        "Highly-visible targets (seen at all four academic observatories): {} tuples\n\nnew:       {}\nrecurring: {}\nCDF:       {}\n",
+        tuples.len(),
+        sparkline(&nr.new_targets, 47),
+        sparkline(&nr.recurring_targets, 47),
+        sparkline(&nr.cdf, 47),
+    );
+    ExperimentResult {
+        id: "fig8",
+        title: "Figure 8: highly-visible targets over time".into(),
+        body,
+        csv: vec![(
+            "fig8_highly_visible.csv".into(),
+            series_csv(&[new_s, rec_s, cdf_s]),
+        )],
+    }
+}
+
+fn confirmation_body(
+    sets: &[(String, Vec<TargetTuple>)],
+    industry: &[TargetTuple],
+    industry_name: &str,
+) -> (String, String) {
+    let c = confirmation_shares(sets, industry);
+    let mut rows = Vec::new();
+    let mut csv = String::from("subset,size,confirmed_share\n");
+    let label = |mask: u16| -> String {
+        sets.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, (n, _))| n.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+    let mut sorted = c.rows.clone();
+    sorted.sort_by_key(|&(mask, _, _)| (mask.count_ones(), mask));
+    for (mask, size, share) in sorted {
+        rows.push(vec![
+            label(mask),
+            format!("{size}"),
+            format!("{:.2}%", 100.0 * share),
+        ]);
+        csv.push_str(&format!("{},{},{:.6}\n", label(mask), size, share));
+    }
+    let mut body = format!("Share of academic targets confirmed by {industry_name}:\n");
+    body.push_str(&text_table(&["Subset (exclusive)", "Targets", "Confirmed"], &rows));
+    body.push_str(&format!(
+        "\nReverse view — {industry_name} targets seen by academia:\n"
+    ));
+    for (i, (name, _)) in sets.iter().enumerate() {
+        body.push_str(&format!(
+            "  {:10} {:.1}%\n",
+            name,
+            100.0 * c.industry_seen_by[i]
+        ));
+    }
+    body.push_str(&format!(
+        "  union      {:.1}%\n",
+        100.0 * c.industry_seen_by_union
+    ));
+    (body, csv)
+}
+
+/// Fig. 9: Netscout baseline confirmation of academic target subsets.
+pub fn fig9(run: &StudyRun) -> ExperimentResult {
+    let sets = academic_sets(run);
+    let baseline = run.netscout_baseline_tuples();
+    let (body, csv) = confirmation_body(&sets, &baseline, "Netscout (baseline sample)");
+    ExperimentResult {
+        id: "fig9",
+        title: "Figure 9: Netscout confirmation of academic targets".into(),
+        body,
+        csv: vec![("fig9_netscout_confirmation.csv".into(), csv)],
+    }
+}
+
+/// Fig. 13 (Appendix G): the same join against the Akamai target set.
+pub fn fig13(run: &StudyRun) -> ExperimentResult {
+    let sets = academic_sets(run);
+    let akamai = run.akamai_tuples();
+    let (body, csv) = confirmation_body(&sets, &akamai, "Akamai");
+    ExperimentResult {
+        id: "fig13",
+        title: "Figure 13 (App. G): Akamai confirmation of academic targets".into(),
+        body,
+        csv: vec![("fig13_akamai_confirmation.csv".into(), csv)],
+    }
+}
+
+/// Fig. 10: weekly target overlap within observatory types.
+pub fn fig10(run: &StudyRun) -> ExperimentResult {
+    let orion = run.target_tuples(ObsId::Orion);
+    let ucsd = run.target_tuples(ObsId::Ucsd);
+    let hops = run.target_tuples(ObsId::Hopscotch);
+    let amppot = run.target_tuples(ObsId::AmpPot);
+    let tel = weekly_overlap(&ucsd, &orion);
+    let hp = weekly_overlap(&hops, &amppot);
+    let body = format!(
+        "(a) Telescopes — weekly targets\n  UCSD:    {}\n  ORION:   {}\n  shared:  {}\n\n(b) Honeypots — weekly targets\n  Hopscotch: {}\n  AmpPot:    {}\n  shared:    {}\n",
+        sparkline(&tel.a, 47),
+        sparkline(&tel.b, 47),
+        sparkline(&tel.shared, 47),
+        sparkline(&hp.a, 47),
+        sparkline(&hp.b, 47),
+        sparkline(&hp.shared, 47),
+    );
+    let tel_csv = series_csv(&[
+        WeeklySeries::new("UCSD", tel.a),
+        WeeklySeries::new("ORION", tel.b),
+        WeeklySeries::new("shared", tel.shared),
+    ]);
+    let hp_csv = series_csv(&[
+        WeeklySeries::new("Hopscotch", hp.a),
+        WeeklySeries::new("AmpPot", hp.b),
+        WeeklySeries::new("shared", hp.shared),
+    ]);
+    ExperimentResult {
+        id: "fig10",
+        title: "Figure 10: weekly target overlap (telescopes / honeypots)".into(),
+        body,
+        csv: vec![
+            ("fig10a_telescopes.csv".into(), tel_csv),
+            ("fig10b_honeypots.csv".into(), hp_csv),
+        ],
+    }
+}
+
+/// §7 scalar statistics: distinct targets / IPs, multi-type share,
+/// all-four share, and the Jonker-style AmpPot↔UCSD IP overlap.
+pub fn stats7(run: &StudyRun) -> ExperimentResult {
+    let sets = academic_sets(run);
+    let u = upset(&sets);
+    // Multi-type targets: tuples seen by at least one telescope AND at
+    // least one honeypot (the two attack classes).
+    let mut membership: HashMap<TargetTuple, u16> = HashMap::new();
+    for (i, (_, tuples)) in sets.iter().enumerate() {
+        for &t in tuples {
+            *membership.entry(t).or_insert(0) |= 1 << i;
+        }
+    }
+    let tel_mask: u16 = (1 << orion_idx(&u)) | (1 << ucsd_idx(&u));
+    let hp_mask: u16 = (1 << hopscotch_idx(&u)) | (1 << amppot_idx(&u));
+    let multi_type = membership
+        .values()
+        .filter(|&&m| m & tel_mask != 0 && m & hp_mask != 0)
+        .count();
+    let all_four = u.at_least(u.full_mask());
+    let amppot_tuples = &sets[amppot_idx(&u)].1;
+    let ucsd_tuples = &sets[ucsd_idx(&u)].1;
+    let jonker = ip_overlap_share(amppot_tuples, ucsd_tuples);
+
+    let total = u.total_distinct.max(1);
+    let body = format!(
+        "Distinct (date, IP) targets: {}\nDistinct IP addresses: {}\nMulti-type targets (telescope AND honeypot): {} ({:.2}%)\nSeen at all four observatories: {} ({:.2}%)\nAmpPot/UCSD distinct-IP overlap (Jonker-style, §7.1): {:.2}%\n",
+        u.total_distinct,
+        u.distinct_ips,
+        multi_type,
+        100.0 * multi_type as f64 / total as f64,
+        all_four,
+        100.0 * all_four as f64 / total as f64,
+        100.0 * jonker,
+    );
+    let csv = format!(
+        "metric,value\ndistinct_tuples,{}\ndistinct_ips,{}\nmulti_type,{}\nmulti_type_share,{:.6}\nall_four,{}\nall_four_share,{:.6}\njonker_ip_overlap,{:.6}\n",
+        u.total_distinct,
+        u.distinct_ips,
+        multi_type,
+        multi_type as f64 / total as f64,
+        all_four,
+        all_four as f64 / total as f64,
+        jonker,
+    );
+    ExperimentResult {
+        id: "stats7",
+        title: "Section 7 scalar statistics".into(),
+        body,
+        csv: vec![("stats7.csv".into(), csv)],
+    }
+}

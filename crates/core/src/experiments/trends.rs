@@ -1,0 +1,177 @@
+//! Trend-figure experiments: Fig. 2 (DP series), Fig. 3 (RA series with
+//! takedown markers), Fig. 4 (heatmap), Fig. 5 (Netscout share),
+//! Fig. 12 (NewKid).
+
+use super::ExperimentResult;
+use crate::pipeline::{ObsId, StudyRun};
+use crate::render::{series_csv, sparkline, text_table};
+use analytics::{Heatmap, WeeklySeries};
+use simcore::time::{takedown_dates, week_start_date};
+
+/// Per-series summary block used by Fig. 2 / Fig. 3: normalized series,
+/// EWMA, and the paper's per-start-year regression slopes.
+fn trend_block(series: &[WeeklySeries]) -> (String, Vec<(String, String)>) {
+    let mut rows = Vec::new();
+    for s in series {
+        let ewma = s.ewma(12);
+        let mut slopes = Vec::new();
+        for start_year in 2019..=2022 {
+            let lo = simcore::Date::new(start_year, 1, 1)
+                .to_sim_time()
+                .week_index()
+                .max(0) as usize;
+            let slope = s
+                .regression_in(lo, s.len())
+                .map(|r| format!("{:+.4}", r.slope))
+                .unwrap_or_else(|| "--".into());
+            slopes.push(slope);
+        }
+        rows.push(vec![
+            s.name.clone(),
+            s.trend().symbol().to_string(),
+            sparkline(&ewma.values, 47),
+            slopes.join(" / "),
+        ]);
+    }
+    let body = text_table(
+        &["Series", "Trend", "EWMA (sparkline, ~5wk/char)", "slopes from 2019/20/21/22"],
+        &rows,
+    );
+    let mut csvs = Vec::new();
+    csvs.push(("normalized.csv".to_string(), series_csv(series)));
+    let ewmas: Vec<WeeklySeries> = series.iter().map(|s| s.ewma(12)).collect();
+    csvs.push(("ewma.csv".to_string(), series_csv(&ewmas)));
+    (body, csvs)
+}
+
+/// Fig. 2: normalized weekly direct-path attack counts at the five DP
+/// observatories.
+pub fn fig2(run: &StudyRun) -> ExperimentResult {
+    let ids = [
+        ObsId::Orion,
+        ObsId::Ucsd,
+        ObsId::NetscoutDp,
+        ObsId::AkamaiDp,
+        ObsId::IxpDp,
+    ];
+    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id)).collect();
+    let (body, csvs) = trend_block(&series);
+    ExperimentResult {
+        id: "fig2",
+        title: "Figure 2: normalized weekly direct-path attack counts".into(),
+        body,
+        csv: csvs
+            .into_iter()
+            .map(|(n, c)| (format!("fig2_{n}"), c))
+            .collect(),
+    }
+}
+
+/// Fig. 3: normalized weekly reflection-amplification attack counts,
+/// with the law-enforcement takedown dates marked.
+pub fn fig3(run: &StudyRun) -> ExperimentResult {
+    let ids = [
+        ObsId::Hopscotch,
+        ObsId::AmpPot,
+        ObsId::NetscoutRa,
+        ObsId::AkamaiRa,
+        ObsId::IxpRa,
+    ];
+    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id)).collect();
+    let (mut body, csvs) = trend_block(&series);
+    body.push_str("\nTakedown markers (red dashed lines in the paper):\n");
+    for d in takedown_dates() {
+        body.push_str(&format!("  {} (week {})\n", d, d.to_sim_time().week_index()));
+    }
+    ExperimentResult {
+        id: "fig3",
+        title: "Figure 3: normalized weekly reflection-amplification attack counts".into(),
+        body,
+        csv: csvs
+            .into_iter()
+            .map(|(n, c)| (format!("fig3_{n}"), c))
+            .collect(),
+    }
+}
+
+/// Fig. 4: all ten series as a heatmap (DP block on top).
+pub fn fig4(run: &StudyRun) -> ExperimentResult {
+    let series = run.all_ten_normalized();
+    let heat = Heatmap::from_series(&series, 4.0);
+    let body = heat.render(5);
+    ExperimentResult {
+        id: "fig4",
+        title: "Figure 4: normalized weekly attack counts, all ten vantage points".into(),
+        body,
+        csv: vec![("fig4_heatmap.csv".into(), series_csv(&series))],
+    }
+}
+
+/// Fig. 5: weekly RA vs DP share at Netscout, with the latest crossing
+/// of the 50 % mark (the paper's dotted line: 2021Q2).
+pub fn fig5(run: &StudyRun) -> ExperimentResult {
+    let ra = run.weekly_series(ObsId::NetscoutRa);
+    let dp = run.weekly_series(ObsId::NetscoutDp);
+    let share = analytics::share_series(&dp, &ra);
+    // Crossing detection on a centered moving average: smoothing is
+    // needed (weekly counts are noisy) but an EWMA's phase lag would
+    // shift the crossing date by half its span.
+    let smoothed = share.centered_ma(6);
+    let last_cross = analytics::durable_crossing(&smoothed.values, 0.5);
+    let mut body = format!(
+        "DP share of Netscout attack counts (smoothed): {}\n",
+        sparkline(&smoothed.values, 47)
+    );
+    match last_cross {
+        Some(w) => {
+            let date = week_start_date(w as i64);
+            body.push_str(&format!(
+                "Latest crossing of the 50% mark: week {w} ({date}, {})\n",
+                date.quarter_label()
+            ));
+        }
+        None => body.push_str("DP share never durably crossed 50%\n"),
+    }
+    // Yearly shares for the summary.
+    for year in 2019..=2023 {
+        let lo = simcore::Date::new(year, 1, 1).to_sim_time().week_index().max(0) as usize;
+        let hi = (simcore::Date::new(year + 1, 1, 1).to_sim_time().week_index() as usize)
+            .min(ra.len());
+        let r: f64 = ra.values[lo..hi].iter().filter(|v| v.is_finite()).sum();
+        let d: f64 = dp.values[lo..hi].iter().filter(|v| v.is_finite()).sum();
+        if r + d > 0.0 {
+            body.push_str(&format!(
+                "  {year}: RA {:.1}% / DP {:.1}%\n",
+                100.0 * r / (r + d),
+                100.0 * d / (r + d)
+            ));
+        }
+    }
+    let csv = series_csv(&[ra, dp, share, smoothed]);
+    ExperimentResult {
+        id: "fig5",
+        title: "Figure 5: Netscout RA/DP attack share and 50% crossing".into(),
+        body,
+        csv: vec![("fig5_netscout_share.csv".into(), csv)],
+    }
+}
+
+/// Fig. 12 (Appendix D): the NewKid single-sensor series.
+pub fn fig12(run: &StudyRun) -> ExperimentResult {
+    let s = run.normalized_series(ObsId::NewKid);
+    let peak = s
+        .present()
+        .map(|(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let body = format!(
+        "NewKid normalized weekly attacks: {}\npeak {:.1}x baseline; single-sensor series — erratic by construction (excluded from §6 trends)\n",
+        sparkline(&s.values, 47),
+        peak
+    );
+    ExperimentResult {
+        id: "fig12",
+        title: "Figure 12 (App. D): NewKid honeypot trends".into(),
+        body,
+        csv: vec![("fig12_newkid.csv".into(), series_csv(&[s]))],
+    }
+}

@@ -1,0 +1,385 @@
+//! The study pipeline: build the Internet, generate 4.5 years of
+//! attacks, run every observatory, and expose the paper's two data
+//! projections (weekly attack counts and daily target tuples).
+
+use crate::scenario::StudyConfig;
+use analytics::{TargetTuple, WeeklySeries};
+use attackgen::{distinct_target_tuples, weekly_counts, Attack, AttackGenerator, ObservedAttack};
+use flowmon::{split_by_class, Akamai, IxpBlackholing, Netscout, NetscoutAlert};
+use honeypot::{reconstruct_carpet_attacks, Honeypot};
+use netmodel::InternetPlan;
+use serde::{Deserialize, Serialize};
+use simcore::{Date, SimRng};
+use telescope::Telescope;
+
+/// The ten observatory series of Fig. 4, plus NewKid (Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObsId {
+    Orion,
+    Ucsd,
+    NetscoutDp,
+    AkamaiDp,
+    IxpDp,
+    Hopscotch,
+    AmpPot,
+    NetscoutRa,
+    AkamaiRa,
+    IxpRa,
+    NewKid,
+}
+
+impl ObsId {
+    /// The ten main series, direct-path block first (Fig. 4 ordering).
+    pub const MAIN_TEN: [ObsId; 10] = [
+        ObsId::Orion,
+        ObsId::Ucsd,
+        ObsId::NetscoutDp,
+        ObsId::AkamaiDp,
+        ObsId::IxpDp,
+        ObsId::Hopscotch,
+        ObsId::AmpPot,
+        ObsId::NetscoutRa,
+        ObsId::AkamaiRa,
+        ObsId::IxpRa,
+    ];
+
+    /// The four academic observatories of the §7 target analysis.
+    pub const ACADEMIC: [ObsId; 4] = [ObsId::Orion, ObsId::Ucsd, ObsId::Hopscotch, ObsId::AmpPot];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            ObsId::Orion => "ORION",
+            ObsId::Ucsd => "UCSD",
+            ObsId::NetscoutDp => "Netscout (DP)",
+            ObsId::AkamaiDp => "Akamai (DP)",
+            ObsId::IxpDp => "IXP (DP)",
+            ObsId::Hopscotch => "Hopscotch",
+            ObsId::AmpPot => "AmpPot",
+            ObsId::NetscoutRa => "Netscout (RA)",
+            ObsId::AkamaiRa => "Akamai (RA)",
+            ObsId::IxpRa => "IXP (RA)",
+            ObsId::NewKid => "NewKid",
+        }
+    }
+
+    /// Does this series observe direct-path attacks (vs RA)?
+    pub const fn is_direct_path(self) -> bool {
+        matches!(
+            self,
+            ObsId::Orion | ObsId::Ucsd | ObsId::NetscoutDp | ObsId::AkamaiDp | ObsId::IxpDp
+        )
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ObsId::Orion => 0,
+            ObsId::Ucsd => 1,
+            ObsId::NetscoutDp => 2,
+            ObsId::AkamaiDp => 3,
+            ObsId::IxpDp => 4,
+            ObsId::Hopscotch => 5,
+            ObsId::AmpPot => 6,
+            ObsId::NetscoutRa => 7,
+            ObsId::AkamaiRa => 8,
+            ObsId::IxpRa => 9,
+            ObsId::NewKid => 10,
+        }
+    }
+}
+
+/// A completed study run.
+pub struct StudyRun {
+    pub config: StudyConfig,
+    pub plan: InternetPlan,
+    pub attacks: Vec<Attack>,
+    /// Observation streams indexed by [`ObsId::index`].
+    observations: Vec<Vec<ObservedAttack>>,
+    /// All Netscout alerts (needed for the §7.2 baseline sample).
+    pub netscout_alerts: Vec<NetscoutAlert>,
+}
+
+impl StudyRun {
+    /// Execute the full pipeline. Deterministic in `config.seed`.
+    ///
+    /// Observatories run concurrently (they are independent readers of
+    /// the attack stream); determinism is preserved because every
+    /// observation RNG forks from (attack id, observatory name), never
+    /// from shared mutable state.
+    pub fn execute(config: &StudyConfig) -> StudyRun {
+        let root = SimRng::new(config.seed);
+        let mut plan_rng = root.fork_named("plan");
+        let plan = InternetPlan::build(&config.net, &mut plan_rng);
+        let attacks =
+            AttackGenerator::new(&plan, config.gen.clone(), &root).generate_study();
+        let obs_root = root.fork_named("observatories");
+
+        let ucsd = Telescope::ucsd(&plan);
+        let orion = Telescope::orion(&plan);
+        let hopscotch = Honeypot::hopscotch(&plan);
+        let amppot = Honeypot::amppot(&plan);
+        let newkid = Honeypot::newkid(&plan);
+        let ixp = IxpBlackholing::with_defaults(&plan);
+        let netscout = Netscout::with_defaults(&plan);
+        let akamai = Akamai::with_defaults(&plan);
+
+        // Honeypot post-processing: CCC / Appendix-I reconstruction
+        // merges concurrent same-prefix events.
+        let carpet_gap_secs = 3600;
+
+        let mut ucsd_obs = Vec::new();
+        let mut orion_obs = Vec::new();
+        let mut hopscotch_obs = Vec::new();
+        let mut amppot_obs = Vec::new();
+        let mut newkid_obs = Vec::new();
+        let mut ixp_pair = (Vec::new(), Vec::new());
+        let mut akamai_pair = (Vec::new(), Vec::new());
+        let mut alerts = Vec::new();
+
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| ucsd_obs = ucsd.observe_all(&attacks, &obs_root));
+            s.spawn(|_| orion_obs = orion.observe_all(&attacks, &obs_root));
+            s.spawn(|_| {
+                let raw = hopscotch.observe_all(&attacks, &obs_root);
+                hopscotch_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
+            });
+            s.spawn(|_| {
+                let raw = amppot.observe_all(&attacks, &obs_root);
+                amppot_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
+            });
+            s.spawn(|_| {
+                let raw = newkid.observe_all(&attacks, &obs_root);
+                newkid_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
+            });
+            s.spawn(|_| ixp_pair = ixp.observe_all(&attacks, &obs_root));
+            s.spawn(|_| akamai_pair = akamai.observe_all(&attacks, &obs_root));
+            s.spawn(|_| alerts = netscout.observe_all(&attacks, &obs_root));
+        })
+        .expect("observatory thread panicked");
+
+        let (netscout_ra, netscout_dp) = split_by_class(&alerts);
+        let (ixp_ra, ixp_dp) = ixp_pair;
+        let (akamai_ra, akamai_dp) = akamai_pair;
+
+        let mut observations = vec![Vec::new(); 11];
+        observations[ObsId::Orion.index()] = orion_obs;
+        observations[ObsId::Ucsd.index()] = ucsd_obs;
+        observations[ObsId::NetscoutDp.index()] = netscout_dp;
+        observations[ObsId::AkamaiDp.index()] = akamai_dp;
+        observations[ObsId::IxpDp.index()] = ixp_dp;
+        observations[ObsId::Hopscotch.index()] = hopscotch_obs;
+        observations[ObsId::AmpPot.index()] = amppot_obs;
+        observations[ObsId::NetscoutRa.index()] = netscout_ra;
+        observations[ObsId::AkamaiRa.index()] = akamai_ra;
+        observations[ObsId::IxpRa.index()] = ixp_ra;
+        observations[ObsId::NewKid.index()] = newkid_obs;
+
+        StudyRun {
+            config: config.clone(),
+            plan,
+            attacks,
+            observations,
+            netscout_alerts: alerts,
+        }
+    }
+
+    /// Observations of one observatory.
+    pub fn observations(&self, id: ObsId) -> &[ObservedAttack] {
+        &self.observations[id.index()]
+    }
+
+    /// Raw weekly attack counts (§5 aggregation), with the paper's
+    /// missing-data gaps masked when configured.
+    pub fn weekly_series(&self, id: ObsId) -> WeeklySeries {
+        let mut s = WeeklySeries::new(id.name(), weekly_counts(self.observations(id)));
+        if self.config.missing_data {
+            match id {
+                ObsId::Orion => {
+                    // ORION missing 2019Q3–Q4 (§6.1).
+                    let lo = Date::new(2019, 7, 1).to_sim_time().week_index() as usize;
+                    let hi = Date::new(2020, 1, 1).to_sim_time().week_index() as usize;
+                    s.mask_range(lo, hi);
+                }
+                ObsId::IxpDp | ObsId::IxpRa => {
+                    // IXP missing January 2019.
+                    let hi = Date::new(2019, 2, 1).to_sim_time().week_index() as usize;
+                    s.mask_range(0, hi);
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Normalized weekly series (median of the first 15 present weeks).
+    pub fn normalized_series(&self, id: ObsId) -> WeeklySeries {
+        self.weekly_series(id).normalize_to_baseline()
+    }
+
+    /// All ten main series, normalized, in Fig.-4 order.
+    pub fn all_ten_normalized(&self) -> Vec<WeeklySeries> {
+        ObsId::MAIN_TEN
+            .iter()
+            .map(|&id| self.normalized_series(id))
+            .collect()
+    }
+
+    /// Distinct (day, target IP) tuples of one observatory (§7).
+    pub fn target_tuples(&self, id: ObsId) -> Vec<TargetTuple> {
+        distinct_target_tuples(self.observations(id))
+    }
+
+    /// Target tuples of the Netscout §7.2 baseline sample (~28 % of
+    /// alerts).
+    pub fn netscout_baseline_tuples(&self) -> Vec<TargetTuple> {
+        let netscout = Netscout::with_defaults(&self.plan);
+        let root = SimRng::new(self.config.seed).fork_named("observatories");
+        let sample = netscout.baseline_sample(&self.netscout_alerts, &root);
+        let obs: Vec<ObservedAttack> = sample.iter().map(|a| a.observation.clone()).collect();
+        distinct_target_tuples(&obs)
+    }
+
+    /// Target tuples of the Akamai §7.2 join: both classes, restricted
+    /// to "targets in the network prefix of Akamai" — the narrow set of
+    /// prefixes advertised from the Prolexic ASN, not the full
+    /// protected customer base (which is why the paper's Akamai joins
+    /// are ≈100× smaller than Netscout's).
+    pub fn akamai_tuples(&self) -> Vec<TargetTuple> {
+        let mut all = self.target_tuples(ObsId::AkamaiRa);
+        all.extend(self.target_tuples(ObsId::AkamaiDp));
+        all.retain(|&(_, ip)| self.plan.akamai_announces(ip));
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared quick run for all pipeline tests.
+    pub(crate) fn quick_run() -> &'static StudyRun {
+        static RUN: OnceLock<StudyRun> = OnceLock::new();
+        RUN.get_or_init(|| StudyRun::execute(&StudyConfig::quick()))
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = StudyRun::execute(&StudyConfig::quick());
+        let b = quick_run();
+        assert_eq!(a.attacks.len(), b.attacks.len());
+        for id in ObsId::MAIN_TEN {
+            assert_eq!(
+                a.observations(id).len(),
+                b.observations(id).len(),
+                "{} diverged",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_observatory_sees_something() {
+        let run = quick_run();
+        for id in ObsId::MAIN_TEN {
+            assert!(
+                !run.observations(id).is_empty(),
+                "{} saw nothing",
+                id.name()
+            );
+        }
+        assert!(!run.observations(ObsId::NewKid).is_empty());
+    }
+
+    #[test]
+    fn telescopes_only_see_spoofed_dp() {
+        let run = quick_run();
+        use std::collections::HashMap;
+        let by_id: HashMap<u64, &Attack> =
+            run.attacks.iter().map(|a| (a.id.0, a)).collect();
+        for id in [ObsId::Ucsd, ObsId::Orion] {
+            for o in run.observations(id) {
+                let a = by_id[&o.attack_id.0];
+                assert_eq!(a.class, attackgen::AttackClass::DirectPathSpoofed);
+            }
+        }
+    }
+
+    #[test]
+    fn honeypots_only_see_ra() {
+        let run = quick_run();
+        use std::collections::HashMap;
+        let by_id: HashMap<u64, &Attack> =
+            run.attacks.iter().map(|a| (a.id.0, a)).collect();
+        for id in [ObsId::Hopscotch, ObsId::AmpPot] {
+            for o in run.observations(id) {
+                // Reconstructed events keep the id of their first
+                // member; synthetic ids (u64::MAX range) never appear in
+                // the event-level path.
+                let a = by_id[&o.attack_id.0];
+                assert!(a.class.is_reflection(), "{} saw a DP attack", id.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ucsd_sees_more_than_orion() {
+        let run = quick_run();
+        let ucsd = run.observations(ObsId::Ucsd).len();
+        let orion = run.observations(ObsId::Orion).len();
+        assert!(
+            ucsd > 2 * orion,
+            "UCSD {ucsd} should dwarf ORION {orion} (24× size)"
+        );
+    }
+
+    #[test]
+    fn weekly_series_lengths() {
+        let run = quick_run();
+        for id in ObsId::MAIN_TEN {
+            assert_eq!(run.weekly_series(id).len(), simcore::STUDY_WEEKS);
+        }
+    }
+
+    #[test]
+    fn missing_data_masks_applied() {
+        let run = quick_run();
+        let orion = run.weekly_series(ObsId::Orion);
+        let w = Date::new(2019, 9, 1).to_sim_time().week_index() as usize;
+        assert!(orion.values[w].is_nan(), "ORION 2019Q3 should be masked");
+        let ixp = run.weekly_series(ObsId::IxpDp);
+        assert!(ixp.values[1].is_nan(), "IXP January 2019 should be masked");
+        // UCSD has no gaps.
+        assert!(run.weekly_series(ObsId::Ucsd).values[w].is_finite());
+    }
+
+    #[test]
+    fn normalized_series_baseline_near_one() {
+        let run = quick_run();
+        let s = run.normalized_series(ObsId::Ucsd);
+        let early: Vec<f64> = s.present().take(15).map(|(_, v)| v).collect();
+        let m = analytics::median(&early);
+        assert!((m - 1.0).abs() < 0.2, "baseline median {m}");
+    }
+
+    #[test]
+    fn netscout_baseline_is_subset() {
+        let run = quick_run();
+        let baseline = run.netscout_baseline_tuples();
+        let mut full = run.target_tuples(ObsId::NetscoutRa);
+        full.extend(run.target_tuples(ObsId::NetscoutDp));
+        let full: std::collections::HashSet<_> = full.into_iter().collect();
+        assert!(!baseline.is_empty());
+        assert!(baseline.len() < full.len());
+        assert!(baseline.iter().all(|t| full.contains(t)));
+    }
+
+    #[test]
+    fn target_tuples_deduplicated() {
+        let run = quick_run();
+        let tuples = run.target_tuples(ObsId::Hopscotch);
+        let set: std::collections::HashSet<_> = tuples.iter().collect();
+        assert_eq!(set.len(), tuples.len());
+    }
+}

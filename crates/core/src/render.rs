@@ -1,0 +1,157 @@
+//! Text and CSV renderers shared by the experiments.
+
+use analytics::WeeklySeries;
+use simcore::time::week_start_date;
+
+/// Render weekly series as CSV: one row per week with its start date,
+/// one column per series. NaNs render as empty cells (missing data).
+pub fn series_csv(series: &[WeeklySeries]) -> String {
+    let weeks = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+    let mut out = String::from("week,start_date");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name.replace(',', ";"));
+    }
+    out.push('\n');
+    for w in 0..weeks {
+        out.push_str(&format!("{w},{}", week_start_date(w as i64)));
+        for s in series {
+            out.push(',');
+            match s.values.get(w) {
+                Some(v) if v.is_finite() => out.push_str(&format!("{v:.6}")),
+                _ => {}
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an aligned text table.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..widths[i] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = fmt_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact sparkline of a weekly series (8 levels), NaN as '·'.
+pub fn sparkline(values: &[f64], buckets: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || buckets == 0 {
+        return String::new();
+    }
+    let finite_max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let per = values.len().div_ceil(buckets);
+    let mut out = String::new();
+    for chunk in values.chunks(per) {
+        let finite: Vec<f64> = chunk.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            out.push('·');
+        } else {
+            let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+            let level = ((mean / finite_max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            out.push(BARS[level]);
+        }
+    }
+    out
+}
+
+/// Format an optional correlation as "rho (p)" with the paper's
+/// grey-out convention: insignificant values are wrapped in brackets.
+pub fn fmt_corr(c: Option<analytics::Correlation>) -> String {
+    match c {
+        None => "--".into(),
+        Some(c) if c.significant() => format!("{:+.2}", c.rho),
+        Some(c) => format!("[{:+.2}]", c.rho),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape_and_missing() {
+        let s = vec![
+            WeeklySeries::new("a", vec![1.0, f64::NAN]),
+            WeeklySeries::new("b,x", vec![2.0, 3.0]),
+        ];
+        let csv = series_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "week,start_date,a,b;x");
+        assert!(lines[1].starts_with("0,2019-01-01,1.000000,2.000000"));
+        // NaN -> empty cell
+        assert_eq!(lines[2], "1,2019-01-08,,3.000000");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let line = sparkline(&[0.0, 0.5, 1.0], 3);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+        let gap = sparkline(&[f64::NAN, 1.0], 2);
+        assert!(gap.starts_with('·'));
+    }
+
+    #[test]
+    fn corr_formatting() {
+        use analytics::Correlation;
+        assert_eq!(fmt_corr(None), "--");
+        assert_eq!(
+            fmt_corr(Some(Correlation { rho: 0.5, p_value: 0.01, n: 10 })),
+            "+0.50"
+        );
+        assert_eq!(
+            fmt_corr(Some(Correlation { rho: -0.2, p_value: 0.3, n: 10 })),
+            "[-0.20]"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Study configuration: one struct that pins down everything a run
+//! needs, so a single seed reproduces the whole paper.
+
+use attackgen::GenConfig;
+use netmodel::NetScale;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a study run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Master seed; every stochastic component forks from it.
+    pub seed: u64,
+    pub net: NetScale,
+    pub gen: GenConfig,
+    /// Reproduce the paper's missing-data gaps (ORION 2019Q3–Q4, IXP
+    /// January 2019, §6.1) by masking those weeks.
+    pub missing_data: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 0xDD05_C0DE,
+            net: NetScale::default(),
+            gen: GenConfig::default(),
+            missing_data: true,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// The full paper-scale study (≈ 600k attacks over 4.5 years).
+    pub fn paper() -> Self {
+        StudyConfig::default()
+    }
+
+    /// A reduced study for tests and quick examples: ~1/8 of the attack
+    /// volume, smaller tail AS population. Trends keep their shapes
+    /// (the timeline is unchanged); only counting noise grows.
+    pub fn quick() -> Self {
+        let mut cfg = StudyConfig {
+            net: NetScale::tiny(),
+            ..StudyConfig::default()
+        };
+        cfg.gen.timeline.dp_base_per_week /= 8.0;
+        cfg.gen.timeline.ra_base_per_week /= 8.0;
+        cfg.gen.random_campaign_count = 8;
+        cfg.gen.campaign_rate_scale = 1.0 / 8.0;
+        cfg
+    }
+
+    /// Like `quick` but without the paper's artificial data gaps —
+    /// useful for tests that assert on every week.
+    pub fn quick_complete() -> Self {
+        let mut cfg = Self::quick();
+        cfg.missing_data = false;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = StudyConfig::quick();
+        let p = StudyConfig::paper();
+        assert!(q.gen.timeline.dp_base_per_week < p.gen.timeline.dp_base_per_week);
+        assert!(q.net.tail_as_count < p.net.tail_as_count);
+        assert_eq!(q.seed, p.seed);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = StudyConfig::quick();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: StudyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(
+            back.gen.timeline.ra_base_per_week,
+            cfg.gen.timeline.ra_base_per_week
+        );
+    }
+}

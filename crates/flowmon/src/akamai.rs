@@ -1,0 +1,232 @@
+//! The Akamai Prolexic observatory model.
+//!
+//! Prolexic is a DDoS protection service that "detects and mitigates
+//! attacks in traffic transiting its AS" (§5): customers own prefixes
+//! that can be rerouted through the Prolexic AS. Visibility is therefore
+//! scoped to the protected prefix set — which is why the paper's target
+//! joins with Akamai are ≈ 100× smaller than with Netscout (§7.2), and
+//! why Akamai's trends diverge from every other observatory (§6.3).
+
+use attackgen::{Attack, AttackClass, ObservedAttack};
+use netmodel::{InternetPlan, PrefixTable};
+use serde::{Deserialize, Serialize};
+use simcore::SimRng;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AkamaiConfig {
+    /// Detection probability for attacks on protected prefixes (the DPS
+    /// sits directly on the traffic path, so this is high).
+    pub detection_probability: f64,
+    /// Minimum bit rate to register as an attack event.
+    pub min_bps: f64,
+}
+
+impl Default for AkamaiConfig {
+    fn default() -> Self {
+        AkamaiConfig {
+            detection_probability: 0.95,
+            min_bps: 1e7,
+        }
+    }
+}
+
+/// Event-level Akamai Prolexic.
+#[derive(Debug, Clone)]
+pub struct Akamai {
+    pub cfg: AkamaiConfig,
+    protected: PrefixTable<()>,
+}
+
+impl Akamai {
+    pub fn new(plan: &InternetPlan, cfg: AkamaiConfig) -> Self {
+        Akamai {
+            cfg,
+            protected: plan.akamai_protected.clone(),
+        }
+    }
+
+    pub fn with_defaults(plan: &InternetPlan) -> Self {
+        Self::new(plan, AkamaiConfig::default())
+    }
+
+    /// Is the address inside the protected scope?
+    pub fn protects(&self, ip: netmodel::Ipv4) -> bool {
+        self.protected.lookup(ip).is_some()
+    }
+
+    /// Event-level observation with the attack's class attached (Akamai
+    /// publishes separate RA and DP series, Fig. 2(d)/3(d)).
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(AttackClass, ObservedAttack)> {
+        // At least one target must be in protected space.
+        let protected_targets: Vec<netmodel::Ipv4> = attack
+            .targets
+            .iter()
+            .copied()
+            .filter(|&t| self.protects(t))
+            .collect();
+        if protected_targets.is_empty() {
+            return None;
+        }
+        if attack.bps < self.cfg.min_bps {
+            return None;
+        }
+        let mut rng = root.fork(attack.id.0).fork_named("akamai-prolexic");
+        if !rng.chance(self.cfg.detection_probability) {
+            return None;
+        }
+        Some((
+            attack.class,
+            ObservedAttack {
+                attack_id: attack.id,
+                start: attack.start,
+                targets: protected_targets,
+            },
+        ))
+    }
+
+    /// Observe a stream, split into (RA, DP) series.
+    pub fn observe_all(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+    ) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
+        let mut ra = Vec::new();
+        let mut dp = Vec::new();
+        for a in attacks {
+            if let Some((class, o)) = self.observe(a, root) {
+                if class.is_reflection() {
+                    ra.push(o);
+                } else {
+                    dp.push(o);
+                }
+            }
+        }
+        (ra, dp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attackgen::attack::{AttackId, AttackVector};
+    use netmodel::{Asn, Ipv4, NetScale};
+    use simcore::SimTime;
+
+    fn plan() -> InternetPlan {
+        let mut rng = SimRng::new(100);
+        InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    fn attack_on(ip: Ipv4, id: u64, class: AttackClass) -> Attack {
+        Attack {
+            id: AttackId(id),
+            class,
+            vector: AttackVector::SynFlood,
+            start: SimTime(1000),
+            duration_secs: 300,
+            targets: vec![ip],
+            target_asn: Asn(1),
+            pps: 50_000.0,
+            bps: 1.7e8,
+            reflectors: None,
+            spoof_space_fraction: 0.0,
+            campaign: None,
+        }
+    }
+
+    #[test]
+    fn protected_targets_usually_observed() {
+        let plan = plan();
+        let ak = Akamai::with_defaults(&plan);
+        let root = SimRng::new(1);
+        let ip = plan.akamai_prefix_list[0].nth(3);
+        let seen = (0..200)
+            .filter(|&id| ak.observe(&attack_on(ip, id, AttackClass::DirectPathNonSpoofed), &root).is_some())
+            .count();
+        assert!(seen > 170, "seen {seen}");
+    }
+
+    #[test]
+    fn unprotected_targets_invisible() {
+        let plan = plan();
+        let ak = Akamai::with_defaults(&plan);
+        let root = SimRng::new(1);
+        // Find an address outside all protected prefixes.
+        let outside = plan
+            .registry
+            .iter()
+            .flat_map(|r| r.prefixes.iter())
+            .map(|p| p.nth(1))
+            .find(|&ip| !ak.protects(ip))
+            .unwrap();
+        for id in 0..100 {
+            assert!(ak
+                .observe(&attack_on(outside, id, AttackClass::DirectPathNonSpoofed), &root)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn tiny_attacks_filtered() {
+        let plan = plan();
+        let ak = Akamai::with_defaults(&plan);
+        let root = SimRng::new(1);
+        let ip = plan.akamai_prefix_list[0].nth(3);
+        for id in 0..100 {
+            let mut a = attack_on(ip, id, AttackClass::DirectPathNonSpoofed);
+            a.bps = 1e6;
+            assert!(ak.observe(&a, &root).is_none());
+        }
+    }
+
+    #[test]
+    fn carpet_observation_clipped_to_protected_space() {
+        let plan = plan();
+        let ak = Akamai::with_defaults(&plan);
+        let root = SimRng::new(1);
+        let protected = plan.akamai_prefix_list[0].nth(3);
+        let outside = plan
+            .registry
+            .iter()
+            .flat_map(|r| r.prefixes.iter())
+            .map(|p| p.nth(1))
+            .find(|&ip| !ak.protects(ip))
+            .unwrap();
+        let mut found = false;
+        for id in 0..50 {
+            let mut a = attack_on(protected, id, AttackClass::ReflectionAmplification);
+            a.targets = vec![protected, outside];
+            if let Some((class, o)) = ak.observe(&a, &root) {
+                assert!(class.is_reflection());
+                assert_eq!(o.targets, vec![protected]);
+                found = true;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn split_series_by_class() {
+        let plan = plan();
+        let ak = Akamai::with_defaults(&plan);
+        let root = SimRng::new(1);
+        let ip = plan.akamai_prefix_list[0].nth(3);
+        let attacks: Vec<Attack> = (0..200)
+            .map(|id| {
+                attack_on(
+                    ip,
+                    id,
+                    if id % 2 == 0 {
+                        AttackClass::ReflectionAmplification
+                    } else {
+                        AttackClass::DirectPathSpoofed
+                    },
+                )
+            })
+            .collect();
+        let (ra, dp) = ak.observe_all(&attacks, &root);
+        assert!(!ra.is_empty() && !dp.is_empty());
+        assert!(ra.iter().all(|o| o.attack_id.0 % 2 == 0));
+        assert!(dp.iter().all(|o| o.attack_id.0 % 2 == 1));
+    }
+}

@@ -1,0 +1,423 @@
+//! Packet-level honeypot attack detection.
+//!
+//! Groups amplification *requests* arriving at sensor addresses into
+//! flows using each platform's flow identifier (Table 2), applies the
+//! platform's packet threshold and timeout, and emits per-flow attack
+//! records. Cross-sensor and carpet-bombing aggregation happens in
+//! [`crate::aggregate`].
+
+use crate::platform::{FlowIdScheme, HoneypotConfig};
+use attackgen::PacketEvent;
+use netmodel::{Ipv4, Prefix};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Flow key: the fields a platform's identifier uses. Unused fields are
+/// zeroed so one key type serves all three schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HpFlowKey {
+    /// Source IP — the (spoofed) victim. For NewKid this is the /24
+    /// prefix base.
+    pub src: Ipv4,
+    /// Source port (AmpPot only; 0 elsewhere).
+    pub src_port: u16,
+    /// Sensor address (all schemes).
+    pub dst: Ipv4,
+    /// Destination (service) port (AmpPot and Hopscotch; 0 for NewKid,
+    /// which tracks ports as data).
+    pub dst_port: u16,
+}
+
+/// How a NewKid flow qualified (footnote 1 of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackMode {
+    /// Single destination port crossing the packet threshold.
+    MonoProtocol,
+    /// Two or more destination ports (multi-protocol attack).
+    MultiProtocol,
+}
+
+/// A finished honeypot attack flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HoneypotFlow {
+    pub key: HpFlowKey,
+    /// The inferred victim (flow source, before any prefix truncation).
+    pub victim: Ipv4,
+    pub first_seen: SimTime,
+    pub last_seen: SimTime,
+    pub packets: u64,
+    /// Distinct destination ports (NewKid multi-protocol evidence).
+    pub ports: BTreeSet<u16>,
+    pub mode: AttackMode,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    victim: Ipv4,
+    first_seen: SimTime,
+    last_seen: SimTime,
+    packets: u64,
+    ports: BTreeSet<u16>,
+}
+
+/// Streaming detector for one honeypot platform. Feed packets in
+/// roughly chronological order; non-sensor traffic is ignored.
+#[derive(Debug)]
+pub struct HoneypotDetector {
+    cfg: HoneypotConfig,
+    sensor_set: HashSet<Ipv4>,
+    supported_ports: HashSet<u16>,
+    flows: HashMap<HpFlowKey, FlowState>,
+    finished: Vec<HoneypotFlow>,
+    last_expiry_check: i64,
+}
+
+impl HoneypotDetector {
+    pub fn new(cfg: HoneypotConfig) -> Self {
+        let sensor_set = cfg.sensors.iter().copied().collect();
+        let supported_ports = cfg.supported.iter().map(|v| v.src_port()).collect();
+        HoneypotDetector {
+            cfg,
+            sensor_set,
+            supported_ports,
+            flows: HashMap::new(),
+            finished: Vec::new(),
+            last_expiry_check: i64::MIN,
+        }
+    }
+
+    pub fn config(&self) -> &HoneypotConfig {
+        &self.cfg
+    }
+
+    fn key_for(&self, pkt: &PacketEvent) -> HpFlowKey {
+        match self.cfg.flow_scheme {
+            FlowIdScheme::SrcSrcPortDstDstPort => HpFlowKey {
+                src: pkt.src,
+                src_port: pkt.src_port,
+                dst: pkt.dst,
+                dst_port: pkt.dst_port,
+            },
+            FlowIdScheme::SrcDstDstPort => HpFlowKey {
+                src: pkt.src,
+                src_port: 0,
+                dst: pkt.dst,
+                dst_port: pkt.dst_port,
+            },
+            FlowIdScheme::SrcPrefixDst => HpFlowKey {
+                src: Prefix::new(pkt.src, 24).base(),
+                src_port: 0,
+                dst: pkt.dst,
+                dst_port: 0,
+            },
+        }
+    }
+
+    /// Ingest one packet. Packets not addressed to a responding sensor,
+    /// or for a service the platform does not emulate, are dropped —
+    /// a honeypot cannot be selected as reflector for a protocol it
+    /// does not answer.
+    pub fn ingest(&mut self, pkt: &PacketEvent) {
+        if pkt.time.0 >= self.last_expiry_check + self.cfg.timeout_secs {
+            self.expire_idle(pkt.time);
+            self.last_expiry_check = pkt.time.0;
+        }
+        if !self.sensor_set.contains(&pkt.dst) {
+            return;
+        }
+        if !self.supported_ports.contains(&pkt.dst_port) {
+            return;
+        }
+        let key = self.key_for(pkt);
+        let flow = self.flows.entry(key).or_insert_with(|| FlowState {
+            victim: pkt.src,
+            first_seen: pkt.time,
+            last_seen: pkt.time,
+            packets: 0,
+            ports: BTreeSet::new(),
+        });
+        flow.packets += 1;
+        flow.last_seen = flow.last_seen.max(pkt.time);
+        flow.ports.insert(pkt.dst_port);
+    }
+
+    fn qualifies(&self, flow: &FlowState) -> Option<AttackMode> {
+        match self.cfg.multi_port_min {
+            Some(multi_min) if flow.ports.len() >= multi_min as usize => {
+                // Multi-protocol attacks qualify with the lower bar of
+                // simply spanning ports (NewKid footnote).
+                if flow.packets >= 2 {
+                    Some(AttackMode::MultiProtocol)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                if flow.packets >= self.cfg.min_packets {
+                    Some(AttackMode::MonoProtocol)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn expire_idle(&mut self, now: SimTime) {
+        let cutoff = now.0 - self.cfg.timeout_secs;
+        let mut expired: Vec<HpFlowKey> = Vec::new();
+        for (key, flow) in &self.flows {
+            if flow.last_seen.0 < cutoff {
+                expired.push(*key);
+            }
+        }
+        for key in expired {
+            let flow = self.flows.remove(&key).unwrap();
+            if let Some(mode) = self.qualifies(&flow) {
+                self.finished.push(HoneypotFlow {
+                    key,
+                    victim: flow.victim,
+                    first_seen: flow.first_seen,
+                    last_seen: flow.last_seen,
+                    packets: flow.packets,
+                    ports: flow.ports,
+                    mode,
+                });
+            }
+        }
+    }
+
+    /// Flush and return all qualifying attack flows, sorted by first
+    /// packet time.
+    pub fn finish(mut self) -> Vec<HoneypotFlow> {
+        let keys: Vec<HpFlowKey> = self.flows.keys().copied().collect();
+        for key in keys {
+            let flow = self.flows.remove(&key).unwrap();
+            if let Some(mode) = self.qualifies(&flow) {
+                self.finished.push(HoneypotFlow {
+                    key,
+                    victim: flow.victim,
+                    first_seen: flow.first_seen,
+                    last_seen: flow.last_seen,
+                    packets: flow.packets,
+                    ports: flow.ports,
+                    mode,
+                });
+            }
+        }
+        self.finished
+            .sort_by_key(|f| (f.first_seen, f.victim, f.key.dst));
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::{AmpVector, InternetPlan, NetScale, Transport};
+    use simcore::SimRng;
+
+    fn plan() -> InternetPlan {
+        let mut rng = SimRng::new(100);
+        InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    fn request(t: i64, victim: u32, sensor: Ipv4, port: u16) -> PacketEvent {
+        PacketEvent {
+            time: SimTime(t),
+            src: Ipv4(victim),
+            src_port: 55_555,
+            dst: sensor,
+            dst_port: port,
+            transport: Transport::Udp,
+            size_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn amppot_detects_above_100_packets() {
+        let plan = plan();
+        let cfg = HoneypotConfig::amppot(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..120 {
+            det.ingest(&request(i, 0x0A00_0001, sensor, AmpVector::Ntp.src_port()));
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].packets, 120);
+        assert_eq!(flows[0].victim, Ipv4(0x0A00_0001));
+        assert_eq!(flows[0].mode, AttackMode::MonoProtocol);
+    }
+
+    #[test]
+    fn amppot_scan_below_threshold_ignored() {
+        // Scanners probing sensors send few packets — the threshold is
+        // the scan/attack discriminator (§4 "Definition of attack").
+        let plan = plan();
+        let cfg = HoneypotConfig::amppot(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..99 {
+            det.ingest(&request(i, 0x0A00_0001, sensor, AmpVector::Ntp.src_port()));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn hopscotch_lower_threshold() {
+        let plan = plan();
+        let cfg = HoneypotConfig::hopscotch(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..5 {
+            det.ingest(&request(i, 0x0A00_0002, sensor, AmpVector::Dns.src_port()));
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].packets, 5);
+    }
+
+    #[test]
+    fn unsupported_protocol_dropped() {
+        // Hopscotch does not emulate CHARGEN (§7.3).
+        let plan = plan();
+        let cfg = HoneypotConfig::hopscotch(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..50 {
+            det.ingest(&request(i, 0x0A00_0002, sensor, AmpVector::CharGen.src_port()));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn non_sensor_traffic_ignored() {
+        let plan = plan();
+        let cfg = HoneypotConfig::amppot(&plan);
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..200 {
+            det.ingest(&request(i, 1, Ipv4::new(198, 41, 0, 4), AmpVector::Dns.src_port()));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn amppot_src_port_separates_flows() {
+        // AmpPot keys on the source port; two spoofed ports make two
+        // flows, each under threshold.
+        let plan = plan();
+        let cfg = HoneypotConfig::amppot(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..120 {
+            let mut p = request(i, 0x0A00_0001, sensor, AmpVector::Ntp.src_port());
+            p.src_port = if i % 2 == 0 { 1000 } else { 2000 };
+            det.ingest(&p);
+        }
+        assert!(det.finish().is_empty(), "60+60 packets across two flows");
+    }
+
+    #[test]
+    fn hopscotch_merges_src_ports() {
+        // Hopscotch does not key on the source port: the same split
+        // stream is one flow there.
+        let plan = plan();
+        let cfg = HoneypotConfig::hopscotch(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..10 {
+            let mut p = request(i, 0x0A00_0001, sensor, AmpVector::Dns.src_port());
+            p.src_port = if i % 2 == 0 { 1000 } else { 2000 };
+            det.ingest(&p);
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].packets, 10);
+    }
+
+    #[test]
+    fn timeout_splits_flows() {
+        let plan = plan();
+        let cfg = HoneypotConfig::hopscotch(&plan);
+        let timeout = cfg.timeout_secs;
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..6 {
+            det.ingest(&request(i, 0x0A00_0001, sensor, AmpVector::Dns.src_port()));
+        }
+        // Silence for two timeouts, then a second burst.
+        let later = 6 + 2 * timeout;
+        for i in 0..6 {
+            det.ingest(&request(later + i, 0x0A00_0001, sensor, AmpVector::Dns.src_port()));
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn newkid_mono_protocol() {
+        let plan = plan();
+        let cfg = HoneypotConfig::newkid(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..6 {
+            det.ingest(&request(i, 0x0A00_0101, sensor, AmpVector::Dns.src_port()));
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].mode, AttackMode::MonoProtocol);
+    }
+
+    #[test]
+    fn newkid_multi_protocol_lower_bar() {
+        // Two ports, only 2+2 packets: qualifies as multi-protocol.
+        let plan = plan();
+        let cfg = HoneypotConfig::newkid(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        det.ingest(&request(0, 0x0A00_0101, sensor, AmpVector::Dns.src_port()));
+        det.ingest(&request(1, 0x0A00_0101, sensor, AmpVector::Ntp.src_port()));
+        det.ingest(&request(2, 0x0A00_0101, sensor, AmpVector::Dns.src_port()));
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].mode, AttackMode::MultiProtocol);
+        assert_eq!(flows[0].ports.len(), 2);
+    }
+
+    #[test]
+    fn newkid_groups_by_prefix() {
+        // Packets from two addresses in the same /24 form one flow
+        // (carpet bombing shows up as one prefix-level event, the
+        // phenomenon NewKid was built to catch).
+        let plan = plan();
+        let cfg = HoneypotConfig::newkid(&plan);
+        let sensor = cfg.sensors[0];
+        let mut det = HoneypotDetector::new(cfg);
+        for i in 0..3 {
+            det.ingest(&request(i, 0x0A00_0101, sensor, AmpVector::Dns.src_port()));
+        }
+        for i in 3..6 {
+            det.ingest(&request(i, 0x0A00_0177, sensor, AmpVector::Dns.src_port()));
+        }
+        let flows = det.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].packets, 6);
+        assert_eq!(flows[0].key.src, Ipv4(0x0A00_0100));
+    }
+
+    #[test]
+    fn single_packet_never_qualifies() {
+        let plan = plan();
+        for cfg in [
+            HoneypotConfig::amppot(&plan),
+            HoneypotConfig::hopscotch(&plan),
+            HoneypotConfig::newkid(&plan),
+        ] {
+            let sensor = cfg.sensors[0];
+            let mut det = HoneypotDetector::new(cfg);
+            det.ingest(&request(0, 0x0A00_0001, sensor, AmpVector::Dns.src_port()));
+            assert!(det.finish().is_empty());
+        }
+    }
+}

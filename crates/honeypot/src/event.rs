@@ -1,0 +1,293 @@
+//! Event-level honeypot observatory: analytic visibility of reflection-
+//! amplification attacks for the macro study.
+//!
+//! Physics: an attacker abusing `k` reflectors out of a per-vector pool
+//! of size `P` selects each responding sensor independently with
+//! probability ≈ `k / P`. A platform with `s` sensors is therefore
+//! selected into an attack with probability `1 − (1 − k/P)^s`, and a
+//! selected sensor receives a `1/k` share of the request load — which
+//! then has to clear the platform's per-flow packet threshold (Table 2).
+
+use crate::platform::HoneypotConfig;
+use attackgen::{Attack, AttackClass, ObservedAttack};
+use netmodel::{AmpVector, InternetPlan, Ipv4};
+use simcore::dist::{binomial, poisson};
+use simcore::SimRng;
+use std::collections::BTreeMap;
+
+/// An operating honeypot platform plus the reflector-pool context it
+/// hides in.
+#[derive(Debug, Clone)]
+pub struct Honeypot {
+    pub cfg: HoneypotConfig,
+    pools: BTreeMap<AmpVector, u64>,
+}
+
+impl Honeypot {
+    pub fn new(cfg: HoneypotConfig, plan: &InternetPlan) -> Self {
+        Honeypot {
+            cfg,
+            pools: plan.reflector_pools.clone(),
+        }
+    }
+
+    pub fn amppot(plan: &InternetPlan) -> Self {
+        Self::new(HoneypotConfig::amppot(plan), plan)
+    }
+
+    pub fn hopscotch(plan: &InternetPlan) -> Self {
+        Self::new(HoneypotConfig::hopscotch(plan), plan)
+    }
+
+    pub fn newkid(plan: &InternetPlan) -> Self {
+        Self::new(HoneypotConfig::newkid(plan), plan)
+    }
+
+    /// Event-level observation of one attack.
+    ///
+    /// RNG is forked from (attack id, platform name): deterministic, and
+    /// independent across platforms — AmpPot and Hopscotch make separate
+    /// reflector-selection draws for the same attack, which is what
+    /// produces the partial (≈ 50 %) target overlap of Fig. 7.
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+        if attack.class != AttackClass::ReflectionAmplification {
+            return None;
+        }
+        let refl = attack.reflectors?;
+        if !self.cfg.supports(refl.vector) {
+            return None;
+        }
+        let pool = *self.pools.get(&refl.vector)?;
+        let k = refl.reflector_count as f64;
+        let select_p = (self.cfg.selection_boost * k / pool as f64).min(1.0);
+        let mut rng = root.fork(attack.id.0).fork_named(&self.cfg.name);
+        // How many of our sensors did the attacker pick?
+        let m = binomial(&mut rng, self.cfg.sensor_count() as u64, select_p);
+        if m == 0 {
+            return None;
+        }
+        // Per-sensor, per-victim expected request packets over the whole
+        // attack (honeypots cap responses via safeguards, but *requests*
+        // keep arriving and are what the detector counts).
+        let width = attack.targets.len() as f64;
+        // Booters re-fire short attacks back to back; a platform with a
+        // long flow timeout (AmpPot: 60 min) accumulates those repeats
+        // into one flow, multiplying the packets the threshold sees.
+        let repetition = (self.cfg.timeout_secs as f64 / attack.duration_secs as f64)
+            .clamp(1.0, 4.0);
+        let per_sensor_victim =
+            attack.pps / k * attack.duration_secs as f64 * repetition / width;
+        // A victim is recorded if its flow at the busiest selected
+        // sensor clears the packet threshold.
+        let draws = m.min(3);
+        let mut seen: Vec<Ipv4> = Vec::new();
+        for &victim in &attack.targets {
+            let best = (0..draws)
+                .map(|_| poisson(&mut rng, per_sensor_victim))
+                .max()
+                .unwrap_or(0);
+            if best >= self.cfg.min_packets {
+                seen.push(victim);
+            }
+        }
+        if seen.is_empty() {
+            return None;
+        }
+        Some(ObservedAttack {
+            attack_id: attack.id,
+            start: attack.start,
+            targets: seen,
+        })
+    }
+
+    /// Observe a whole attack stream.
+    pub fn observe_all(&self, attacks: &[Attack], root: &SimRng) -> Vec<ObservedAttack> {
+        attacks
+            .iter()
+            .filter_map(|a| self.observe(a, root))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attackgen::attack::{AttackId, AttackVector, ReflectorUse};
+    use netmodel::{Asn, NetScale};
+    use simcore::SimTime;
+
+    fn plan() -> InternetPlan {
+        let mut rng = SimRng::new(100);
+        InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    fn ra(id: u64, vector: AmpVector, k: u32, pps: f64, width: u32) -> Attack {
+        let targets = (0..width).map(|i| Ipv4(0x0B00_0000 + i)).collect();
+        Attack {
+            id: AttackId(id),
+            class: AttackClass::ReflectionAmplification,
+            vector: AttackVector::Amplification(vector),
+            start: SimTime(50_000),
+            duration_secs: 600,
+            targets,
+            target_asn: Asn(1),
+            pps,
+            bps: pps * 4000.0,
+            reflectors: Some(ReflectorUse {
+                vector,
+                reflector_count: k,
+            }),
+            spoof_space_fraction: 0.0,
+            campaign: None,
+        }
+    }
+
+    #[test]
+    fn heavy_attack_with_many_reflectors_usually_seen() {
+        let plan = plan();
+        let hp = Honeypot::hopscotch(&plan);
+        let root = SimRng::new(1);
+        let pool = plan.reflector_pools[&AmpVector::Dns] as f64;
+        // Selection probability ≈ 1 - (1 - k/P)^65; pick k for ≈95 %.
+        let k = (pool * 0.045) as u32;
+        let seen = (0..200)
+            .filter(|&id| hp.observe(&ra(id, AmpVector::Dns, k, 50_000.0, 1), &root).is_some())
+            .count();
+        assert!(seen > 170, "seen {seen}/200");
+    }
+
+    #[test]
+    fn few_reflectors_rarely_selected() {
+        let plan = plan();
+        let hp = Honeypot::hopscotch(&plan);
+        let root = SimRng::new(1);
+        let seen = (0..200)
+            .filter(|&id| hp.observe(&ra(id, AmpVector::Dns, 20, 50_000.0, 1), &root).is_some())
+            .count();
+        // 20 / 50k pool × 65 sensors ⇒ ~2.6 % selection.
+        assert!(seen < 20, "seen {seen}/200");
+    }
+
+    #[test]
+    fn unsupported_vector_invisible() {
+        let plan = plan();
+        let hops = Honeypot::hopscotch(&plan);
+        let amppot = Honeypot::amppot(&plan);
+        let root = SimRng::new(1);
+        // CHARGEN: AmpPot yes, Hopscotch no (§7.3).
+        let pool = plan.reflector_pools[&AmpVector::CharGen];
+        let k = (pool / 10).max(100) as u32;
+        let mut amppot_seen = 0;
+        for id in 0..100 {
+            let a = ra(id, AmpVector::CharGen, k, 100_000.0, 1);
+            assert!(hops.observe(&a, &root).is_none());
+            amppot_seen += amppot.observe(&a, &root).is_some() as u32;
+        }
+        assert!(amppot_seen > 50, "amppot {amppot_seen}");
+    }
+
+    #[test]
+    fn direct_path_invisible() {
+        let plan = plan();
+        let hp = Honeypot::amppot(&plan);
+        let root = SimRng::new(1);
+        let mut a = ra(1, AmpVector::Dns, 10_000, 100_000.0, 1);
+        a.class = AttackClass::DirectPathSpoofed;
+        a.reflectors = None;
+        a.spoof_space_fraction = 1.0;
+        assert!(hp.observe(&a, &root).is_none());
+    }
+
+    #[test]
+    fn amppot_threshold_is_harder() {
+        // Same low-rate attack: Hopscotch (≥5 pkts) catches it when
+        // selected, AmpPot (≥100 pkts) rejects the flow even when
+        // selected. A 1-hour duration keeps the repetition factor at 1
+        // for both platforms, and a large k keeps selection ≈ certain
+        // for both — isolating the packet-threshold difference.
+        let plan = plan();
+        let hops = Honeypot::hopscotch(&plan);
+        let amppot = Honeypot::amppot(&plan);
+        let root = SimRng::new(2);
+        let pool = plan.reflector_pools[&AmpVector::Dns] as f64;
+        let k = (pool * 0.05) as u32;
+        let duration = 3600u32;
+        let mut hops_seen = 0;
+        let mut amppot_seen = 0;
+        for id in 0..300 {
+            // ~30 packets per selected sensor over the whole attack.
+            let pps = k as f64 * 30.0 / duration as f64;
+            let mut a = ra(id, AmpVector::Dns, k, pps, 1);
+            a.duration_secs = duration;
+            hops_seen += hops.observe(&a, &root).is_some() as u32;
+            amppot_seen += amppot.observe(&a, &root).is_some() as u32;
+        }
+        assert!(hops_seen > 200, "hopscotch {hops_seen}");
+        assert!(amppot_seen < hops_seen / 4, "amppot {amppot_seen} vs {hops_seen}");
+    }
+
+    #[test]
+    fn platforms_draw_independently() {
+        let plan = plan();
+        let hops = Honeypot::hopscotch(&plan);
+        let amppot = Honeypot::amppot(&plan);
+        let root = SimRng::new(3);
+        let pool = plan.reflector_pools[&AmpVector::Dns] as f64;
+        let k = (pool * 0.02) as u32;
+        let mut hops_only = 0;
+        let mut amppot_only = 0;
+        let mut both = 0;
+        for id in 0..400 {
+            let a = ra(id, AmpVector::Dns, k, 100_000.0, 1);
+            let h = hops.observe(&a, &root).is_some();
+            let m = amppot.observe(&a, &root).is_some();
+            if h && m {
+                both += 1;
+            } else if h {
+                hops_only += 1;
+            } else if m {
+                amppot_only += 1;
+            }
+        }
+        // All three categories must occur (Fig. 7's partial overlap).
+        assert!(both > 0 && hops_only > 0 && amppot_only > 0,
+            "both {both}, hops {hops_only}, amppot {amppot_only}");
+    }
+
+    #[test]
+    fn carpet_records_subset_of_targets() {
+        let plan = plan();
+        let hp = Honeypot::hopscotch(&plan);
+        let root = SimRng::new(4);
+        let pool = plan.reflector_pools[&AmpVector::Ssdp] as f64;
+        let k = (pool * 0.05) as u32;
+        // Wide, low-rate carpet: per-victim flow small, only some
+        // victims cross the 5-packet bar.
+        let width = 64;
+        let pps = k as f64 * 6.0 * width as f64 / 600.0; // ~6 pkts/victim/sensor
+        let mut partial = false;
+        for id in 0..100 {
+            let a = ra(id, AmpVector::Ssdp, k, pps, width);
+            if let Some(o) = hp.observe(&a, &root) {
+                assert!(o.targets.iter().all(|t| a.targets.contains(t)));
+                if o.targets.len() < width as usize {
+                    partial = true;
+                }
+            }
+        }
+        assert!(partial, "carpet observation should sometimes be partial");
+    }
+
+    #[test]
+    fn observation_deterministic() {
+        let plan = plan();
+        let hp = Honeypot::amppot(&plan);
+        let root = SimRng::new(5);
+        let pool = plan.reflector_pools[&AmpVector::Ntp] as f64;
+        let a = ra(42, AmpVector::Ntp, (pool * 0.05) as u32, 80_000.0, 1);
+        let first = hp.observe(&a, &root);
+        for _ in 0..10 {
+            assert_eq!(hp.observe(&a, &root), first);
+        }
+    }
+}

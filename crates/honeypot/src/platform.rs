@@ -1,0 +1,209 @@
+//! Honeypot platform configurations (Table 2).
+//!
+//! Each platform differs in sensor count, flow identifier, timeout,
+//! packet thresholds, and the set of amplification protocols it
+//! emulates. The protocol-support difference is load-bearing: it
+//! reproduces §7.3 (AmpPot CHARGEN-heavy vs Hopscotch CLDAP-heavy) and
+//! Fig. 3(a) (Hopscotch missing the 2023 recovery carried by emerging
+//! vectors it does not emulate).
+
+use netmodel::{AmpVector, InternetPlan, Ipv4};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How a platform groups request packets into attack flows (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowIdScheme {
+    /// AmpPot: (src IP, src port, dst IP, dst port).
+    SrcSrcPortDstDstPort,
+    /// Hopscotch: (src IP, dst IP, dst port).
+    SrcDstDstPort,
+    /// NewKid: (src /24 prefix, dst IP), dst port tracked as data for
+    /// the multi-protocol threshold.
+    SrcPrefixDst,
+}
+
+/// One honeypot platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoneypotConfig {
+    pub name: String,
+    /// Sensor addresses that *respond* (and can thus be selected as
+    /// reflectors by scanning attackers).
+    pub sensors: Vec<Ipv4>,
+    /// Addresses allocated but silent (AmpPot has 70 allocated, 30
+    /// responsive; silent sensors never attract attacks, §5).
+    pub allocated_total: usize,
+    pub flow_scheme: FlowIdScheme,
+    /// Flow timeout in seconds (Table 2: AmpPot 60 min, Hopscotch
+    /// 15 min, NewKid 1 min).
+    pub timeout_secs: i64,
+    /// Minimum packets for a flow to count as an attack (per Table 2).
+    pub min_packets: u64,
+    /// NewKid's multi-protocol rule: an attack spanning ≥ this many
+    /// distinct destination ports also qualifies (with the same packet
+    /// minimum).
+    pub multi_port_min: Option<u32>,
+    /// Amplification protocols the platform emulates.
+    pub supported: BTreeSet<AmpVector>,
+    /// Relative scan-list entrenchment of the platform's sensors: how
+    /// over-represented they are in attacker reflector lists compared
+    /// to a uniformly random pool member. Long-running platforms whose
+    /// sensors answer scanners reliably (AmpPot has operated since
+    /// 2015 and correlates attacks with prior scans, §5) accumulate a
+    /// higher listing rate per sensor.
+    pub selection_boost: f64,
+}
+
+impl HoneypotConfig {
+    /// AmpPot per Table 2 / §5, with its protocol mix skewed toward
+    /// CHARGEN and the emerging 2023 vectors.
+    pub fn amppot(plan: &InternetPlan) -> Self {
+        let responsive = plan.honeypots.amppot_responsive;
+        HoneypotConfig {
+            name: "AmpPot".into(),
+            sensors: plan.honeypots.amppot_allocated[..responsive].to_vec(),
+            allocated_total: plan.honeypots.amppot_allocated.len(),
+            flow_scheme: FlowIdScheme::SrcSrcPortDstDstPort,
+            timeout_secs: 60 * 60,
+            min_packets: 100,
+            multi_port_min: None,
+            selection_boost: 4.0,
+            supported: [
+                AmpVector::Dns,
+                AmpVector::Ntp,
+                AmpVector::CharGen,
+                AmpVector::Qotd,
+                AmpVector::Rpc,
+                AmpVector::Ssdp,
+                AmpVector::NetBios,
+                AmpVector::Snmp,
+                AmpVector::WsDiscovery,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// Hopscotch per Table 2, CLDAP-capable but blind to the emerging
+    /// vectors.
+    pub fn hopscotch(plan: &InternetPlan) -> Self {
+        HoneypotConfig {
+            name: "Hopscotch".into(),
+            sensors: plan.honeypots.hopscotch.clone(),
+            allocated_total: plan.honeypots.hopscotch.len(),
+            flow_scheme: FlowIdScheme::SrcDstDstPort,
+            timeout_secs: 15 * 60,
+            min_packets: 5,
+            multi_port_min: None,
+            selection_boost: 1.0,
+            supported: [
+                AmpVector::Dns,
+                AmpVector::Ntp,
+                AmpVector::Cldap,
+                AmpVector::Qotd,
+                AmpVector::Rpc,
+                AmpVector::Ssdp,
+                AmpVector::Memcached,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// NewKid per Table 2: one sensor, two thresholds.
+    pub fn newkid(plan: &InternetPlan) -> Self {
+        HoneypotConfig {
+            name: "NewKid".into(),
+            sensors: plan.honeypots.newkid.clone(),
+            allocated_total: plan.honeypots.newkid.len(),
+            flow_scheme: FlowIdScheme::SrcPrefixDst,
+            timeout_secs: 60,
+            min_packets: 5,
+            multi_port_min: Some(2),
+            selection_boost: 1.5,
+            supported: [
+                AmpVector::Dns,
+                AmpVector::Ntp,
+                AmpVector::Ssdp,
+                AmpVector::CharGen,
+                AmpVector::Cldap,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    pub fn supports(&self, v: AmpVector) -> bool {
+        self.supported.contains(&v)
+    }
+
+    /// Number of responding sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::NetScale;
+    use simcore::SimRng;
+
+    fn plan() -> InternetPlan {
+        let mut rng = SimRng::new(100);
+        InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn table2_parameters() {
+        let plan = plan();
+        let amppot = HoneypotConfig::amppot(&plan);
+        assert_eq!(amppot.sensor_count(), 30);
+        assert_eq!(amppot.allocated_total, 70);
+        assert_eq!(amppot.timeout_secs, 3600);
+        assert_eq!(amppot.min_packets, 100);
+        assert_eq!(amppot.flow_scheme, FlowIdScheme::SrcSrcPortDstDstPort);
+
+        let hops = HoneypotConfig::hopscotch(&plan);
+        assert_eq!(hops.sensor_count(), 65);
+        assert_eq!(hops.timeout_secs, 900);
+        assert_eq!(hops.min_packets, 5);
+        assert_eq!(hops.flow_scheme, FlowIdScheme::SrcDstDstPort);
+
+        let nk = HoneypotConfig::newkid(&plan);
+        assert_eq!(nk.sensor_count(), 1);
+        assert_eq!(nk.timeout_secs, 60);
+        assert_eq!(nk.min_packets, 5);
+        assert_eq!(nk.multi_port_min, Some(2));
+        assert_eq!(nk.flow_scheme, FlowIdScheme::SrcPrefixDst);
+    }
+
+    #[test]
+    fn protocol_support_differs_as_in_s73() {
+        let plan = plan();
+        let amppot = HoneypotConfig::amppot(&plan);
+        let hops = HoneypotConfig::hopscotch(&plan);
+        // §7.3: CHARGEN is AmpPot territory, CLDAP is Hopscotch's.
+        assert!(amppot.supports(AmpVector::CharGen));
+        assert!(!hops.supports(AmpVector::CharGen));
+        assert!(hops.supports(AmpVector::Cldap));
+        assert!(!amppot.supports(AmpVector::Cldap));
+        // Both cover the common vectors (QOTD, RPC, NTP — "largely
+        // overlapping target sets" for those).
+        for v in [AmpVector::Qotd, AmpVector::Rpc, AmpVector::Ntp, AmpVector::Dns] {
+            assert!(amppot.supports(v) && hops.supports(v));
+        }
+        // The 2023 emerging vectors are invisible to Hopscotch.
+        assert!(amppot.supports(AmpVector::WsDiscovery));
+        assert!(!hops.supports(AmpVector::WsDiscovery));
+    }
+
+    #[test]
+    fn amppot_uses_responsive_prefix_of_allocation() {
+        let plan = plan();
+        let amppot = HoneypotConfig::amppot(&plan);
+        for s in &amppot.sensors {
+            assert!(plan.honeypots.amppot_allocated.contains(s));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `netmodel` — the simulated Internet substrate.
+//!
+//! Everything address-space-shaped that the ddoscovery study needs:
+//! IPv4 prefix arithmetic ([`ip`]), longest-prefix matching ([`trie`]),
+//! the AS population ([`asdb`]), amplification protocol vectors
+//! ([`vectors`]) and the full deterministic Internet plan ([`plan`])
+//! with telescopes, honeypot sensors, and industry coverage scopes.
+
+pub mod asdb;
+pub mod ip;
+pub mod plan;
+pub mod trie;
+pub mod vectors;
+
+pub use asdb::{AsKind, AsRecord, AsRegistry, Asn, KNOWN_ASES};
+pub use ip::{Ipv4, ParseError, Prefix};
+pub use plan::{Allocation, HoneypotPlan, InternetPlan, NetScale, Rir, TelescopePlan};
+pub use trie::PrefixTable;
+pub use vectors::{AmpVector, Transport};

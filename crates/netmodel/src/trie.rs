@@ -1,0 +1,272 @@
+//! A binary (Patricia-style, one bit per level) trie for longest-prefix
+//! matching.
+//!
+//! Used for two lookups the paper's methodology depends on:
+//!
+//! * the **BGP routed-prefix table** consulted by the Appendix-I
+//!   carpet-bombing reconstruction ("longest BGP-routed prefix from /11
+//!   to /28 that covers the attack"), and
+//! * the **RIR allocation table** that the same algorithm must not
+//!   aggregate across.
+//!
+//! Simple one-bit-per-node layout: inserts are O(len), lookups are O(32).
+//! The study's tables hold tens of thousands of prefixes, so a compressed
+//! trie is unnecessary; robustness and clarity win (cf. the smoltcp
+//! design notes on preferring simple, predictable structures).
+
+use crate::ip::{Ipv4, Prefix};
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// Longest-prefix-match table from [`Prefix`] to `T`.
+#[derive(Debug, Clone)]
+pub struct PrefixTable<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTable<T> {
+    pub fn new() -> Self {
+        PrefixTable {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for a prefix. Returns the previous
+    /// value if the exact prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        let base = prefix.base().0;
+        for depth in 0..prefix.len() {
+            let bit = ((base >> (31 - depth)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        let base = prefix.base().0;
+        for depth in 0..prefix.len() {
+            let bit = ((base >> (31 - depth)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match for an address: the most specific stored
+    /// prefix containing `ip`, with its value.
+    pub fn lookup(&self, ip: Ipv4) -> Option<(Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Prefix, &T)> = None;
+        for depth in 0..=32u8 {
+            if let Some(v) = node.value.as_ref() {
+                best = Some((Prefix::new(ip, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = ((ip.0 >> (31 - depth)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes containing `ip`, from shortest to longest.
+    pub fn matches(&self, ip: Ipv4) -> Vec<(Prefix, &T)> {
+        let mut node = &self.root;
+        let mut out = Vec::new();
+        for depth in 0..=32u8 {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Prefix::new(ip, depth), v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = ((ip.0 >> (31 - depth)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterate over every (prefix, value) pair in lexicographic prefix
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::new();
+        collect(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+}
+
+fn collect<'a, T>(node: &'a Node<T>, base: u32, depth: u8, out: &mut Vec<(Prefix, &'a T)>) {
+    if let Some(v) = node.value.as_ref() {
+        out.push((Prefix::new(Ipv4(base), depth), v));
+    }
+    if depth == 32 {
+        return;
+    }
+    if let Some(child) = node.children[0].as_deref() {
+        collect(child, base, depth + 1, out);
+    }
+    if let Some(child) = node.children[1].as_deref() {
+        collect(child, base + (1u32 << (31 - depth)), depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: PrefixTable<u32> = PrefixTable::new();
+        assert!(t.is_empty());
+        assert!(t.lookup(ip("1.2.3.4")).is_none());
+        assert!(t.matches(ip("1.2.3.4")).is_empty());
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = PrefixTable::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), "coarse");
+        t.insert(p("10.5.0.0/16"), "mid");
+        t.insert(p("10.5.5.0/24"), "fine");
+        assert_eq!(t.lookup(ip("10.5.5.77")).unwrap(), (p("10.5.5.0/24"), &"fine"));
+        assert_eq!(t.lookup(ip("10.5.9.1")).unwrap(), (p("10.5.0.0/16"), &"mid"));
+        assert_eq!(t.lookup(ip("10.200.0.1")).unwrap(), (p("10.0.0.0/8"), &"coarse"));
+        assert!(t.lookup(ip("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn matches_returns_chain() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.5.0.0/16"), 16);
+        t.insert(p("10.5.5.0/24"), 24);
+        let chain = t.matches(ip("10.5.5.1"));
+        assert_eq!(
+            chain.iter().map(|(_, v)| **v).collect::<Vec<_>>(),
+            vec![8, 16, 24]
+        );
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTable::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        assert_eq!(t.lookup(ip("1.1.1.1")).unwrap().1, &"default");
+        assert_eq!(t.lookup(ip("10.1.1.1")).unwrap().1, &"ten");
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("10.0.0.1/32"), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")).unwrap(), (p("10.0.0.1/32"), &1));
+        assert_eq!(t.lookup(ip("10.0.0.2")).unwrap().1, &0);
+    }
+
+    #[test]
+    fn iter_lexicographic_and_complete() {
+        let mut t = PrefixTable::new();
+        let prefixes = ["10.0.0.0/8", "9.0.0.0/8", "10.5.0.0/16", "192.168.0.0/16"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Prefix> = t.iter().map(|(pfx, _)| pfx).collect();
+        assert_eq!(
+            got,
+            vec![
+                p("9.0.0.0/8"),
+                p("10.0.0.0/8"),
+                p("10.5.0.0/16"),
+                p("192.168.0.0/16")
+            ]
+        );
+    }
+
+    #[test]
+    fn disjoint_siblings() {
+        let mut t = PrefixTable::new();
+        t.insert(p("10.0.0.0/9"), "low");
+        t.insert(p("10.128.0.0/9"), "high");
+        assert_eq!(t.lookup(ip("10.1.0.0")).unwrap().1, &"low");
+        assert_eq!(t.lookup(ip("10.200.0.0")).unwrap().1, &"high");
+    }
+
+    #[test]
+    fn many_prefixes_stress() {
+        let mut t = PrefixTable::new();
+        // All /16s under 10.0.0.0/8 plus finer /24s under one of them.
+        for i in 0..256u32 {
+            t.insert(Prefix::new(Ipv4(10 << 24 | i << 16), 16), i);
+        }
+        for j in 0..256u32 {
+            t.insert(Prefix::new(Ipv4(10 << 24 | 7 << 16 | j << 8), 24), 1000 + j);
+        }
+        assert_eq!(t.len(), 512);
+        assert_eq!(t.lookup(ip("10.9.1.1")).unwrap().1, &9);
+        assert_eq!(t.lookup(ip("10.7.200.1")).unwrap().1, &1200);
+    }
+}

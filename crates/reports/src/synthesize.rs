@@ -1,0 +1,195 @@
+//! Synthetic vendor reports: derive an industry-report-style summary
+//! from a vantage point's observed weekly series.
+//!
+//! The paper's §3 complaint is that vendor reports compare short
+//! periods, mix absolute and relative numbers, and cherry-pick. This
+//! module deliberately reproduces the *format* (year-over-year relative
+//! change per attack class) from simulated observatory data so the
+//! Table-1 comparison — academic trend symbols vs industry claim counts
+//! — can be regenerated end to end, and so the cherry-picking effect
+//! can be studied (see `period_sensitivity`).
+
+use crate::corpus::TrendClaim;
+use analytics::WeeklySeries;
+use serde::{Deserialize, Serialize};
+
+/// Year-over-year summary a synthetic vendor report would publish.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthReport {
+    pub vantage: String,
+    /// Relative change of 2022 attack counts vs 2021.
+    pub dp_yoy: Option<f64>,
+    pub ra_yoy: Option<f64>,
+    pub dp_claim: TrendClaim,
+    pub ra_claim: TrendClaim,
+}
+
+/// Week index ranges of calendar years within the study window.
+/// 2019 starts at week 0; years are 52/53 weeks — we use the calendar.
+fn year_weeks(year: i32) -> (usize, usize) {
+    let start = simcore::Date::new(year, 1, 1).to_sim_time().week_index();
+    let end = simcore::Date::new(year + 1, 1, 1).to_sim_time().week_index();
+    (
+        start.clamp(0, simcore::STUDY_WEEKS as i64) as usize,
+        end.clamp(0, simcore::STUDY_WEEKS as i64) as usize,
+    )
+}
+
+/// Sum of present values over a calendar year.
+pub fn yearly_total(series: &WeeklySeries, year: i32) -> f64 {
+    let (lo, hi) = year_weeks(year);
+    series
+        .present()
+        .filter(|(i, _)| (lo..hi).contains(i))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Relative change between two calendar years of a series. `None` if
+/// the base year has no volume.
+pub fn yoy_change(series: &WeeklySeries, from: i32, to: i32) -> Option<f64> {
+    let base = yearly_total(series, from);
+    if base <= 0.0 {
+        return None;
+    }
+    Some((yearly_total(series, to) - base) / base)
+}
+
+fn claim_from_change(change: Option<f64>) -> TrendClaim {
+    match change {
+        None => TrendClaim::NotReported,
+        Some(c) if c > 0.05 => TrendClaim::Increase(Some(c)),
+        Some(c) if c < -0.05 => TrendClaim::Decrease(Some(c)),
+        Some(_) => TrendClaim::Mixed,
+    }
+}
+
+/// Build the 2022-vs-2021 synthetic report for a vantage point.
+pub fn synthesize(vantage: &str, dp: &WeeklySeries, ra: &WeeklySeries) -> SynthReport {
+    let dp_yoy = yoy_change(dp, 2021, 2022);
+    let ra_yoy = yoy_change(ra, 2021, 2022);
+    SynthReport {
+        vantage: vantage.to_string(),
+        dp_yoy,
+        ra_yoy,
+        dp_claim: claim_from_change(dp_yoy),
+        ra_claim: claim_from_change(ra_yoy),
+    }
+}
+
+/// §3 "Comparing short periods may be misleading": relative changes of
+/// each quarter of `year` vs the same quarter of the previous year.
+/// The spread across quarters quantifies how much a cherry-picked
+/// quarter could distort the annual story.
+pub fn period_sensitivity(series: &WeeklySeries, year: i32) -> Vec<Option<f64>> {
+    (1..=4u8)
+        .map(|q| {
+            let month = (q - 1) * 3 + 1;
+            let q_start =
+                simcore::Date::new(year, month, 1).to_sim_time().week_index();
+            let q_end = if q == 4 {
+                simcore::Date::new(year + 1, 1, 1).to_sim_time().week_index()
+            } else {
+                simcore::Date::new(year, month + 3, 1).to_sim_time().week_index()
+            };
+            let prev_start =
+                simcore::Date::new(year - 1, month, 1).to_sim_time().week_index();
+            let prev_end = if q == 4 {
+                simcore::Date::new(year, 1, 1).to_sim_time().week_index()
+            } else {
+                simcore::Date::new(year - 1, month + 3, 1).to_sim_time().week_index()
+            };
+            let sum = |lo: i64, hi: i64| -> f64 {
+                series
+                    .present()
+                    .filter(|(i, _)| (*i as i64) >= lo && (*i as i64) < hi)
+                    .map(|(_, v)| v)
+                    .sum()
+            };
+            let base = sum(prev_start, prev_end);
+            if base <= 0.0 {
+                None
+            } else {
+                Some((sum(q_start, q_end) - base) / base)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_year_levels(level_2021: f64, level_2022: f64) -> WeeklySeries {
+        let mut values = vec![0.0; simcore::STUDY_WEEKS];
+        let (lo21, hi21) = year_weeks(2021);
+        let (lo22, hi22) = year_weeks(2022);
+        for v in &mut values[lo21..hi21] {
+            *v = level_2021;
+        }
+        for v in &mut values[lo22..hi22] {
+            *v = level_2022;
+        }
+        WeeklySeries::new("x", values)
+    }
+
+    #[test]
+    fn yearly_total_sums_calendar_year() {
+        let s = series_with_year_levels(10.0, 20.0);
+        let (lo, hi) = year_weeks(2021);
+        assert_eq!(yearly_total(&s, 2021), 10.0 * (hi - lo) as f64);
+        assert_eq!(yearly_total(&s, 2019), 0.0);
+    }
+
+    #[test]
+    fn yoy_change_detects_netscout_style_drop() {
+        // Reproduce the famous −17 %: 2022 at 83 % of 2021.
+        let s = series_with_year_levels(100.0, 83.0);
+        let change = yoy_change(&s, 2021, 2022).unwrap();
+        // Week-count differences between years introduce ≤2 % slack.
+        assert!((change + 0.17).abs() < 0.02, "change {change}");
+    }
+
+    #[test]
+    fn yoy_none_without_base_volume() {
+        let s = series_with_year_levels(0.0, 50.0);
+        assert!(yoy_change(&s, 2021, 2022).is_none());
+    }
+
+    #[test]
+    fn synthesize_claims() {
+        let dp = series_with_year_levels(100.0, 140.0);
+        let ra = series_with_year_levels(100.0, 80.0);
+        let r = synthesize("TestVantage", &dp, &ra);
+        assert!(matches!(r.dp_claim, TrendClaim::Increase(Some(c)) if c > 0.3));
+        assert!(matches!(r.ra_claim, TrendClaim::Decrease(Some(c)) if c < -0.1));
+        assert_eq!(r.vantage, "TestVantage");
+    }
+
+    #[test]
+    fn synthesize_flat_is_mixed() {
+        let s = series_with_year_levels(100.0, 101.0);
+        let r = synthesize("v", &s, &s);
+        assert_eq!(r.dp_claim, TrendClaim::Mixed);
+    }
+
+    #[test]
+    fn period_sensitivity_exposes_cherry_picking() {
+        // A series that dips only in Q1 2022: annual change is mild but
+        // the Q1 number looks dramatic.
+        let mut s = series_with_year_levels(100.0, 100.0);
+        let q1_start = simcore::Date::new(2022, 1, 1).to_sim_time().week_index() as usize;
+        let q1_end = simcore::Date::new(2022, 4, 1).to_sim_time().week_index() as usize;
+        for v in &mut s.values[q1_start..q1_end] {
+            *v = 40.0;
+        }
+        let quarters = period_sensitivity(&s, 2022);
+        assert_eq!(quarters.len(), 4);
+        let q1 = quarters[0].unwrap();
+        let q3 = quarters[2].unwrap();
+        assert!(q1 < -0.4, "q1 {q1}");
+        assert!(q3.abs() < 0.1, "q3 {q3}");
+        let annual = yoy_change(&s, 2021, 2022).unwrap();
+        assert!(annual > -0.25, "annual {annual}");
+    }
+}

@@ -1,0 +1,19 @@
+//! `simcore` — deterministic simulation substrate for the ddoscovery
+//! reproduction.
+//!
+//! Provides the three ingredients every other crate builds on:
+//!
+//! * [`rng::SimRng`] — a forkable, deterministic PRNG so the entire
+//!   4.5-year study reproduces bit-for-bit from one seed;
+//! * [`time`] — the study calendar (2019-01-01 … 2023-06-30), day/week/
+//!   quarter bucketing exactly as the paper aggregates (§5);
+//! * [`dist`] — the statistical distributions behind attack arrivals,
+//!   sizes, durations and observatory visibility sampling.
+
+pub mod dist;
+pub mod rng;
+pub mod time;
+
+pub use dist::Zipf;
+pub use rng::SimRng;
+pub use time::{Date, SimTime, BASELINE_WEEKS, STUDY_DAYS, STUDY_END, STUDY_START, STUDY_WEEKS};

@@ -1,0 +1,393 @@
+//! The Corsaro-style RSDoS detector (Appendix J), operating on packet
+//! streams.
+//!
+//! Faithful to the published configuration:
+//!
+//! 1. **Flow identifier**: the tuple (protocol, source IP) — the source
+//!    is the *victim* of the randomly-spoofed attack whose backscatter
+//!    lands in the darknet. Ports are aggregated as data, not key.
+//! 2. **Threshold**: a flow must reach ≥ 25 packets and last ≥ 60 s, and
+//!    must at some point sustain ≥ 30 packets within a 60-second window
+//!    that slides every 10 seconds.
+//! 3. **Timeout**: packets are counted in 300-second intervals; after an
+//!    interval with no new packets the attack flow is finished.
+//!
+//! Like Corsaro itself, once both thresholds have been met the flow
+//! counts as an attack for the rest of its lifetime — any number of
+//! further packets keeps it alive until the interval timeout.
+
+use attackgen::PacketEvent;
+use netmodel::Ipv4;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// Detector parameters (Appendix J defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RsdosConfig {
+    /// Minimum packets from a single source IP.
+    pub min_packets: u64,
+    /// Minimum flow duration in seconds.
+    pub min_duration_secs: i64,
+    /// Packet-rate threshold: packets within one rate window.
+    pub rate_threshold: u64,
+    /// Rate window length in seconds.
+    pub rate_window_secs: i64,
+    /// Rate window slide in seconds.
+    pub rate_slide_secs: i64,
+    /// Interval length; a flow with an interval of silence is finished.
+    pub interval_secs: i64,
+}
+
+impl Default for RsdosConfig {
+    fn default() -> Self {
+        RsdosConfig {
+            min_packets: 25,
+            min_duration_secs: 60,
+            rate_threshold: 30,
+            rate_window_secs: 60,
+            rate_slide_secs: 10,
+            interval_secs: 300,
+        }
+    }
+}
+
+/// Flow key per Appendix J: (protocol, source IP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    pub protocol: u8,
+    pub src: Ipv4,
+}
+
+/// A finished flow that met the attack thresholds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RsdosAttack {
+    pub key: FlowKey,
+    pub first_seen: SimTime,
+    pub last_seen: SimTime,
+    pub packets: u64,
+    /// Maximum packets observed in any rate window.
+    pub peak_window_packets: u64,
+}
+
+impl RsdosAttack {
+    pub fn duration_secs(&self) -> i64 {
+        self.last_seen.0 - self.first_seen.0
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    first_seen: SimTime,
+    last_seen: SimTime,
+    packets: u64,
+    /// Packet counts per rate-slide bucket, newest kept; pruned to the
+    /// rate window length.
+    buckets: Vec<(i64, u64)>,
+    peak_window: u64,
+    thresholds_met: bool,
+}
+
+impl FlowState {
+    fn new(t: SimTime) -> Self {
+        FlowState {
+            first_seen: t,
+            last_seen: t,
+            packets: 0,
+            buckets: Vec::new(),
+            peak_window: 0,
+            thresholds_met: false,
+        }
+    }
+}
+
+/// Streaming RSDoS detector. Feed packets in (approximately)
+/// chronological order via [`RsdosDetector::ingest`], then call
+/// [`RsdosDetector::finish`].
+#[derive(Debug)]
+pub struct RsdosDetector {
+    cfg: RsdosConfig,
+    flows: HashMap<FlowKey, FlowState>,
+    finished: Vec<RsdosAttack>,
+    last_expiry_check: i64,
+}
+
+impl RsdosDetector {
+    pub fn new(cfg: RsdosConfig) -> Self {
+        RsdosDetector {
+            cfg,
+            flows: HashMap::new(),
+            finished: Vec::new(),
+            last_expiry_check: i64::MIN,
+        }
+    }
+
+    pub fn config(&self) -> &RsdosConfig {
+        &self.cfg
+    }
+
+    /// Number of currently live flows.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Ingest one captured packet.
+    pub fn ingest(&mut self, pkt: &PacketEvent) {
+        // Periodically expire idle flows (piggybacked on packet arrival,
+        // like Corsaro's interval processing).
+        if pkt.time.0 >= self.last_expiry_check + self.cfg.interval_secs {
+            self.expire_idle(pkt.time);
+            self.last_expiry_check = pkt.time.0;
+        }
+
+        let key = FlowKey {
+            protocol: pkt.transport.protocol_number(),
+            src: pkt.src,
+        };
+        let slide = self.cfg.rate_slide_secs;
+        let window_buckets = (self.cfg.rate_window_secs / slide).max(1);
+        let flow = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| FlowState::new(pkt.time));
+        flow.packets += 1;
+        flow.last_seen = flow.last_seen.max(pkt.time);
+
+        // Rate accounting: 10-second buckets, window = 6 buckets.
+        let bucket = pkt.time.0.div_euclid(slide);
+        match flow.buckets.last_mut() {
+            Some((b, c)) if *b == bucket => *c += 1,
+            _ => flow.buckets.push((bucket, 1)),
+        }
+        // Prune buckets older than the window relative to the newest.
+        let newest = flow.buckets.last().map(|(b, _)| *b).unwrap_or(bucket);
+        flow.buckets.retain(|(b, _)| newest - *b < window_buckets);
+        let window_sum: u64 = flow.buckets.iter().map(|(_, c)| c).sum();
+        flow.peak_window = flow.peak_window.max(window_sum);
+
+        if !flow.thresholds_met
+            && flow.packets >= self.cfg.min_packets
+            && (flow.last_seen.0 - flow.first_seen.0) >= self.cfg.min_duration_secs
+            && flow.peak_window >= self.cfg.rate_threshold
+        {
+            flow.thresholds_met = true;
+        }
+    }
+
+    /// Expire flows idle for at least one interval before `now`.
+    fn expire_idle(&mut self, now: SimTime) {
+        let cutoff = now.0 - self.cfg.interval_secs;
+        let cfg = &self.cfg;
+        let finished = &mut self.finished;
+        self.flows.retain(|key, flow| {
+            if flow.last_seen.0 < cutoff {
+                if flow.thresholds_met {
+                    finished.push(RsdosAttack {
+                        key: *key,
+                        first_seen: flow.first_seen,
+                        last_seen: flow.last_seen,
+                        packets: flow.packets,
+                        peak_window_packets: flow.peak_window,
+                    });
+                }
+                let _ = cfg;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Flush all remaining flows and return every detected attack,
+    /// sorted by first-seen time.
+    pub fn finish(mut self) -> Vec<RsdosAttack> {
+        let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
+        for key in keys {
+            let flow = self.flows.remove(&key).unwrap();
+            if flow.thresholds_met {
+                self.finished.push(RsdosAttack {
+                    key,
+                    first_seen: flow.first_seen,
+                    last_seen: flow.last_seen,
+                    packets: flow.packets,
+                    peak_window_packets: flow.peak_window,
+                });
+            }
+        }
+        self.finished.sort_by_key(|a| (a.first_seen, a.key.src));
+        self.finished
+    }
+}
+
+/// The minimum attack rate (in Mbps) a telescope of the given coverage
+/// can detect within one 300-second interval — the §5 calculation that
+/// yields ≈ 0.026 Mbps for UCSD-NT and ≈ 0.60 Mbps for ORION.
+///
+/// Binding constraint: `min_packets` backscatter packets must land in
+/// the darknet within the interval, i.e.
+/// `attack_pps * coverage * interval >= min_packets`. The paper's
+/// figures imply an average attack-packet size of ≈ 114 bytes on the
+/// wire (mixed SYN / SYN-ACK / RST backscatter), which we adopt.
+pub fn min_detectable_rate_mbps(coverage: f64, cfg: &RsdosConfig) -> f64 {
+    const AVG_PACKET_BYTES: f64 = 114.0;
+    let attack_pps = cfg.min_packets as f64 / (coverage * cfg.interval_secs as f64);
+    attack_pps * AVG_PACKET_BYTES * 8.0 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::Transport;
+
+    fn pkt(t: i64, src: u32) -> PacketEvent {
+        PacketEvent {
+            time: SimTime(t),
+            src: Ipv4(src),
+            src_port: 80,
+            dst: Ipv4(0x2C00_0001),
+            dst_port: 50_000,
+            transport: Transport::Tcp,
+            size_bytes: 60,
+        }
+    }
+
+    /// A compliant attack: 1 packet/second for `secs` seconds.
+    fn feed_steady(det: &mut RsdosDetector, src: u32, start: i64, secs: i64) {
+        for s in 0..secs {
+            det.ingest(&pkt(start + s, src));
+        }
+    }
+
+    #[test]
+    fn detects_compliant_flow() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        feed_steady(&mut det, 1, 0, 120); // 120 pkts, 120 s, 60/window
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 1);
+        let a = &attacks[0];
+        assert_eq!(a.packets, 120);
+        assert_eq!(a.duration_secs(), 119);
+        assert!(a.peak_window_packets >= 30);
+    }
+
+    #[test]
+    fn too_few_packets_rejected() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        // 20 packets over 100 s: duration OK, count under 25.
+        for i in 0..20 {
+            det.ingest(&pkt(i * 5, 1));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn too_short_duration_rejected() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        // 100 packets in 30 s: count and rate OK, duration under 60 s.
+        for i in 0..100 {
+            det.ingest(&pkt(i * 30 / 100, 1));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn rate_threshold_required() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        // 30 packets over 300 s: count/duration OK, but only 6 packets
+        // per 60-s window — under the 30-packet rate threshold.
+        for i in 0..30 {
+            det.ingest(&pkt(i * 10, 1));
+        }
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn burst_then_trickle_still_counts() {
+        // Appendix J: once both thresholds are met, "any number of
+        // packets is enough to maintain it until the flow times out".
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        feed_steady(&mut det, 1, 0, 90); // meets everything
+        // Trickle one packet every 250 s (inside the 300 s interval).
+        for k in 1..=5 {
+            det.ingest(&pkt(90 + k * 250, 1));
+        }
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 1);
+        assert_eq!(attacks[0].last_seen, SimTime(90 + 5 * 250));
+    }
+
+    #[test]
+    fn idle_interval_splits_flows() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        feed_steady(&mut det, 1, 0, 90);
+        // Silence for > 2 intervals, then a second qualifying attack
+        // from the same source.
+        feed_steady(&mut det, 1, 90 + 700, 90);
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 2, "idle gap should split the flow");
+        assert_eq!(attacks[0].packets, 90);
+        assert_eq!(attacks[1].packets, 90);
+    }
+
+    #[test]
+    fn flows_keyed_by_protocol_and_src() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        feed_steady(&mut det, 1, 0, 90);
+        // Same src, different protocol: independent flow, under
+        // thresholds.
+        let mut icmp = pkt(10, 1);
+        icmp.transport = Transport::Icmp;
+        det.ingest(&icmp);
+        feed_steady(&mut det, 2, 0, 90);
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 2);
+        let srcs: Vec<u32> = attacks.iter().map(|a| a.key.src.0).collect();
+        assert!(srcs.contains(&1) && srcs.contains(&2));
+    }
+
+    #[test]
+    fn second_attack_after_expiry_detected_mid_stream() {
+        // Expiry is piggybacked on later packets from other flows.
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        feed_steady(&mut det, 1, 0, 90);
+        feed_steady(&mut det, 2, 2000, 90); // triggers expiry of flow 1
+        assert_eq!(det.live_flows(), 1, "flow 1 should have expired");
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 2);
+    }
+
+    #[test]
+    fn min_detectable_rates_match_paper() {
+        let cfg = RsdosConfig::default();
+        // §5: UCSD-NT (≈12M addresses of 2^32) detects ~0.026 Mbps,
+        // ORION (≈500k) ~0.60 Mbps.
+        let ucsd_cov = 12_582_912.0 / 4_294_967_296.0;
+        let orion_cov = 524_288.0 / 4_294_967_296.0;
+        let ucsd = min_detectable_rate_mbps(ucsd_cov, &cfg);
+        let orion = min_detectable_rate_mbps(orion_cov, &cfg);
+        assert!((ucsd - 0.026).abs() < 0.005, "ucsd {ucsd}");
+        assert!((orion - 0.60).abs() < 0.1, "orion {orion}");
+        // And the ratio is exactly the size ratio.
+        assert!((orion / ucsd - 24.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn peak_window_tracks_bursts() {
+        let mut det = RsdosDetector::new(RsdosConfig::default());
+        // 10 pps for 10 s = 100 packets in one window.
+        for i in 0..100 {
+            det.ingest(&pkt(i / 10, 1));
+        }
+        // Stretch duration past 60 s.
+        det.ingest(&pkt(70, 1));
+        let attacks = det.finish();
+        assert_eq!(attacks.len(), 1);
+        assert!(attacks[0].peak_window_packets >= 100);
+    }
+
+    #[test]
+    fn empty_stream_no_attacks() {
+        let det = RsdosDetector::new(RsdosConfig::default());
+        assert!(det.finish().is_empty());
+    }
+}

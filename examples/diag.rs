@@ -1,0 +1,78 @@
+//! Calibration diagnostics: one-screen dump of the simulation's key
+//! shape statistics against the paper's targets — observation counts,
+//! trends, the Fig-5 crossing, the Fig-7 overlap structure, and the
+//! industry confirmation joins. Used while tuning generator and
+//! observatory parameters.
+//!
+//! Run with: `cargo run --release --example diag [-- --paper]`
+
+use ddoscovery::{ObsId, StudyConfig, StudyRun};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cfg = if std::env::args().any(|a| a == "--paper") {
+        StudyConfig::paper()
+    } else {
+        StudyConfig::quick()
+    };
+    let run = StudyRun::execute(&cfg);
+    println!("attacks: {} ({:?})", run.attacks.len(), t0.elapsed());
+    for id in ObsId::MAIN_TEN.iter().chain([&ObsId::NewKid]) {
+        let obs = run.observations(*id);
+        let tuples = run.target_tuples(*id);
+        let s = run.normalized_series(*id);
+        let trend = s.trend();
+        let reg = s.linear_regression().map(|r| r.slope * 208.0).unwrap_or(f64::NAN);
+        println!("{:16} obs={:7} tuples={:8} trend={} d4y={:+.2}", id.name(), obs.len(), tuples.len(), trend.symbol(), reg);
+    }
+    // Netscout share crossing (EWMA-smoothed like Fig. 5's trend line)
+    let ra = run.weekly_series(ObsId::NetscoutRa).ewma(12);
+    let dp = run.weekly_series(ObsId::NetscoutDp).ewma(12);
+    let mut last_cross = None;
+    for w in 0..ra.len() {
+        let (r, d) = (ra.values[w], dp.values[w]);
+        if r.is_finite() && d.is_finite() && r + d > 0.0 {
+            let share_dp = d / (r + d);
+            if share_dp > 0.5 { if last_cross.is_none() { last_cross = Some(w); } } else { last_cross = None; }
+        }
+    }
+    println!("netscout DP>50% from week {:?} ({})", last_cross,
+        last_cross.map(|w| simcore::time::week_start_date(w as i64).to_string()).unwrap_or_default());
+    for year in 2019..=2023 {
+        let lo = simcore::Date::new(year,1,1).to_sim_time().week_index().max(0) as usize;
+        let hi = (simcore::Date::new(year+1,1,1).to_sim_time().week_index() as usize).min(ra.len());
+        let r: f64 = ra.values[lo..hi].iter().filter(|v| v.is_finite()).sum();
+        let d: f64 = dp.values[lo..hi].iter().filter(|v| v.is_finite()).sum();
+        println!("  {} netscout RA share {:.1}%", year, 100.0*r/(r+d));
+    }
+    // Upset over academic four
+    let sets: Vec<(String, Vec<analytics::TargetTuple>)> = ObsId::ACADEMIC.iter()
+        .map(|&id| (id.name().to_string(), run.target_tuples(id))).collect();
+    let u = analytics::upset(&sets);
+    println!("total distinct tuples {}, ips {}", u.total_distinct, u.distinct_ips);
+    for (i, n) in u.names.iter().enumerate() {
+        println!("  {:10} size={} share={:.1}%", n, u.set_sizes[i], 100.0*u.set_sizes[i] as f64/u.total_distinct as f64);
+    }
+    println!("  all-four share: {:.3}%", 100.0*u.share(u.full_mask()));
+    println!("  all-four at_least: {:.3}%", 100.0*u.at_least(u.full_mask()) as f64 / u.total_distinct as f64);
+    println!("  orion in ucsd: {:.1}%", 100.0*u.overlap_share(0,1));
+    println!("  amppot shared w/ hopscotch: {:.1}%", 100.0*u.overlap_share(3,2));
+    // netscout baseline overlap with all-four
+    let baseline = run.netscout_baseline_tuples();
+    println!("netscout baseline tuples: {}", baseline.len());
+    let cs = analytics::confirmation_shares(&sets, &baseline);
+    for (mask, size, share) in &cs.rows {
+        if *mask == u.full_mask() || mask.count_ones() == 1 {
+            println!("  mask {:04b} size {} confirmed {:.1}%", mask, size, 100.0*share);
+        }
+    }
+    let ak = run.akamai_tuples();
+    println!("akamai tuples: {}", ak.len());
+    let cs2 = analytics::confirmation_shares(&sets, &ak);
+    println!("  akamai seen by union: {:.1}%", 100.0*cs2.industry_seen_by_union);
+    for (mask, size, share) in &cs2.rows {
+        if mask.count_ones() == 1 || *mask == u.full_mask() {
+            println!("  akamai confirms mask {:04b} size {} share {:.3}%", mask, size, 100.0*share);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Federated DDoS inference — the paper's methodological contribution
+//! (3): "we share an aggregated list of DDoS targets with industry
+//! players who return the results of joining this list with their
+//! proprietary data sources to reveal gaps in visibility of the
+//! academic data sources" (§7.2).
+//!
+//! This example plays both sides of that exchange end to end:
+//! academia aggregates its target list, each industry partner joins it
+//! against its own (never shared) observations, and the returned
+//! shares expose what each side alone cannot see.
+//!
+//! Run with: `cargo run --release --example federated_inference`
+
+use analytics::{confirmation_shares, TargetTuple};
+use ddoscovery::{ObsId, StudyConfig, StudyRun};
+
+fn main() {
+    // Paper scale: the Akamai announced-prefix set is sparse by design
+    // (§7.2) and only populates meaningfully at full volume.
+    let run = StudyRun::execute(&StudyConfig::paper());
+
+    // --- Step 1: academia builds the shared artifact. --------------------
+    // Only (date, IP) tuples leave the academic side — no attack sizes,
+    // no raw traffic (the §4 data-sharing compromise).
+    let academic: Vec<(String, Vec<TargetTuple>)> = ObsId::ACADEMIC
+        .iter()
+        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .collect();
+    let total: usize = {
+        let mut all: Vec<TargetTuple> = academic.iter().flat_map(|(_, t)| t.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    };
+    println!(
+        "Academia aggregates {total} distinct (date, IP) targets from {} observatories\n",
+        academic.len()
+    );
+
+    // --- Step 2: each industry partner joins locally. --------------------
+    for (partner, industry_tuples) in [
+        ("Netscout (baseline sample)", run.netscout_baseline_tuples()),
+        ("Akamai (announced prefixes)", run.akamai_tuples()),
+    ] {
+        let c = confirmation_shares(&academic, &industry_tuples);
+        println!("== {partner}: {} own targets ==", industry_tuples.len());
+        // Forward: what fraction of each academic subset the partner
+        // confirms. Report singles and the all-four subset.
+        let full_mask = (1u16 << academic.len()) - 1;
+        for (mask, size, share) in &c.rows {
+            if mask.count_ones() == 1 || *mask == full_mask {
+                let names: Vec<&str> = academic
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, (n, _))| n.as_str())
+                    .collect();
+                println!(
+                    "  confirms {:32} {:>7} targets -> {:>6.2}%",
+                    names.join("+"),
+                    size,
+                    100.0 * share
+                );
+            }
+        }
+        // Reverse: the gap in academic visibility.
+        println!(
+            "  reverse: academia's union sees {:.1}% of this partner's targets",
+            100.0 * c.industry_seen_by_union
+        );
+        let best = c
+            .industry_seen_by
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        println!(
+            "  best single academic observatory: {} at {:.1}%\n",
+            academic[best.0].0,
+            100.0 * best.1
+        );
+    }
+
+    println!(
+        "Reading: multi-observatory targets are confirmed at much higher rates —\n\
+         \"larger, multi-vector attacks were more likely seen from all vantage\n\
+         points\" (§7.2) — while no single side sees more than a fraction of the\n\
+         other's picture. That asymmetry is the paper's argument for federated\n\
+         inference and for the data-sharing policy framing of §9."
+    );
+}

@@ -1,0 +1,101 @@
+//! The mechanistic substrates beneath the macro trend curves.
+//!
+//! The timeline's SAV and takedown multipliers are compressed summaries
+//! of two real-world processes the paper discusses at length:
+//! per-network source-address-validation deployment (§2.3, §9) and the
+//! booter-for-hire market with law-enforcement seizures (§2.1, §6.2).
+//! This example runs both substrate models next to their macro
+//! counterparts and reproduces the Spoofer project's coverage problem.
+//!
+//! Run with: `cargo run --release --example mechanistic_substrates`
+
+use attackgen::timeline::TimelineParams;
+use attackgen::{BooterMarket, BooterMarketParams, SavModel, SavParams, SpooferPanel};
+use netmodel::{InternetPlan, NetScale};
+use simcore::{Date, SimRng, SimTime};
+
+fn main() {
+    let mut rng = SimRng::new(1);
+    let plan = InternetPlan::build(&NetScale::default(), &mut rng);
+    let macro_curve = TimelineParams::default();
+
+    // --- SAV deployment -------------------------------------------------
+    let sav = SavModel::build(&plan, SavParams::default(), &SimRng::new(7));
+    println!("== SAV deployment: mechanistic substrate vs macro multiplier ==");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12} {:>10}",
+        "date", "enforcing", "spoofable cap", "mechanistic", "macro"
+    );
+    for &(y, m) in &[(2019, 3), (2020, 6), (2021, 6), (2022, 6), (2023, 5)] {
+        let t = Date::new(y, m, 15).to_sim_time();
+        println!(
+            "{:>7}-{:02} {:>11.1}% {:>13.1}% {:>12.3} {:>10.3}",
+            y,
+            m,
+            100.0 * sav.enforcing_fraction(t),
+            100.0 * sav.spoofable_capacity(t),
+            sav.induced_multiplier(t),
+            macro_curve.sav_multiplier(t),
+        );
+    }
+
+    // --- Spoofer measurement panel ---------------------------------------
+    println!("\n== Spoofer project panel: crowdsourced estimate vs ground truth ==");
+    let panel = SpooferPanel::default();
+    let estimates = panel.run(&sav, &plan, &SimRng::new(3));
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "quarter", "estimated", "ground truth", "error"
+    );
+    for e in estimates.iter().step_by(3) {
+        println!(
+            "{:>8} {:>9.1}% {:>11.1}% {:>+7.1}pp",
+            format!("2019Q1+{}", e.quarter),
+            100.0 * e.estimated_enforcing,
+            100.0 * e.true_enforcing,
+            100.0 * (e.estimated_enforcing - e.true_enforcing),
+        );
+    }
+    let mae: f64 = estimates
+        .iter()
+        .map(|e| (e.estimated_enforcing - e.true_enforcing).abs())
+        .sum::<f64>()
+        / estimates.len() as f64;
+    println!(
+        "mean absolute error with {} tests/quarter: {:.1}pp — the §2.3 'limited\n\
+         measurement coverage' problem in numbers",
+        panel.tests_per_quarter,
+        100.0 * mae
+    );
+
+    // --- Booter market ----------------------------------------------------
+    println!("\n== Booter market: capacity through the takedowns ==");
+    let market = BooterMarket::simulate(BooterMarketParams::default(), &SimRng::new(5));
+    let [td1, td2] = market.takedown_weeks;
+    println!(
+        "{:>22} {:>8} {:>10} {:>10}",
+        "week", "alive", "capacity", "macro mult"
+    );
+    for (label, w) in [
+        ("takedown #1 - 4wk", td1 - 4),
+        ("takedown #1 week", td1),
+        ("takedown #1 + 2wk", td1 + 2),
+        ("takedown #1 + 10wk", td1 + 10),
+        ("takedown #2 week", td2),
+        ("takedown #2 + 4wk", td2 + 4),
+    ] {
+        let t = SimTime::from_weeks(w);
+        println!(
+            "{:>22} {:>8} {:>10.3} {:>10.3}",
+            label,
+            market.alive_at_week(w),
+            market.induced_multiplier(t),
+            macro_curve.takedown_multiplier(t),
+        );
+    }
+    println!(
+        "\nReading: seizing the top booters dents capacity by ~10-15% for a few weeks;\n\
+         customer migration and domain respawns (§2.1) erase the dent — the market\n\
+         mechanics behind §6.2's 'indeterminate footprint'."
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! Runs the full-scale study (≈ 600k attacks over 2019-01…2023-06) and
+//! executes the complete experiment registry, printing each artifact
+//! and writing the CSV outputs under `results/`.
+//!
+//! Usage:
+//!   cargo run --release --example paper_figures              # everything
+//!   cargo run --release --example paper_figures -- fig6      # one experiment
+//!   cargo run --release --example paper_figures -- --quick   # scaled-down run
+
+use ddoscovery::{all_ids, run_all, run_experiment, StudyConfig, StudyRun};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let cfg = if quick {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper()
+    };
+    let started = std::time::Instant::now();
+    eprintln!(
+        "Executing {} study (seed {:#x}) ...",
+        if quick { "quick" } else { "paper-scale" },
+        cfg.seed
+    );
+    let run = StudyRun::execute(&cfg);
+    eprintln!(
+        "{} attacks generated and observed in {:.1?}\n",
+        run.attacks.len(),
+        started.elapsed()
+    );
+
+    let results = if wanted.is_empty() {
+        run_all(&run)
+    } else {
+        wanted
+            .iter()
+            .map(|id| {
+                run_experiment(&run, id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {id:?}; known: {:?}", all_ids());
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    for r in &results {
+        println!("==============================================================");
+        println!("[{}] {}", r.id, r.title);
+        println!("==============================================================");
+        println!("{}", r.body);
+        for (name, contents) in &r.csv {
+            let path = out_dir.join(name);
+            fs::write(&path, contents).expect("write csv");
+            println!("  -> wrote {}", path.display());
+        }
+        println!();
+    }
+    eprintln!(
+        "Done: {} experiments in {:.1?} total.",
+        results.len(),
+        started.elapsed()
+    );
+}

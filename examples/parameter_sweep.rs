@@ -1,0 +1,48 @@
+//! Parameter sweep: how the observatories' *reported trends* respond to
+//! the underlying drivers — the counterfactual machinery a measurement
+//! study can never run on the real Internet.
+//!
+//! Sweeps the SAV-deployment strength (§2.3) and reports the 4-year
+//! relative change each observatory would have published in its
+//! Table-1 cell.
+//!
+//! Run with: `cargo run --release --example parameter_sweep`
+
+use ddoscovery::sweep::sweep;
+use ddoscovery::{ObsId, StudyConfig};
+
+fn main() {
+    let mut base = StudyConfig::quick();
+    base.missing_data = false;
+    let observatories = [
+        ObsId::Ucsd,
+        ObsId::Hopscotch,
+        ObsId::AmpPot,
+        ObsId::NetscoutRa,
+    ];
+    let grid = [0.0, 0.2, 0.38, 0.6];
+    println!(
+        "Sweeping SAV-driven spoofed-volume reduction (paper calibration: 0.38)\n"
+    );
+    let outcomes = sweep(&base, &grid, &observatories, |cfg, v| {
+        cfg.gen.timeline.sav_reduction = v;
+    });
+    println!("{:>10} {:>14} {:>8} {:>12}  trend", "sav", "observatory", "attacks", "change/4y");
+    for o in &outcomes {
+        println!(
+            "{:>10.2} {:>14} {:>8} {:>+11.2}%  {}",
+            o.value,
+            o.observatory,
+            o.observations,
+            100.0 * o.change_4y,
+            o.trend.symbol()
+        );
+    }
+    println!(
+        "\nReading: with no SAV push the reflection-amplification series would have\n\
+         kept growing (▲ rows at sav = 0); at the calibrated 0.38 they decline the\n\
+         way the paper's Fig. 3 shows; stronger pushes deepen the decline. The\n\
+         telescope column barely moves — RSDoS visibility depends on the *spoofed\n\
+         share* of direct-path attacks, not on reflection volume."
+    );
+}

@@ -1,0 +1,83 @@
+//! What-if analysis on law-enforcement takedowns (§6.2).
+//!
+//! The paper finds the footprint of the 2022-12-13 and 2023-05-04
+//! booter takedowns "indeterminate": small valleys, no lasting trend
+//! change. This example sweeps the takedown effectiveness parameter and
+//! measures each scenario *against the no-takedown counterfactual*
+//! (same seed, same attacks otherwise — a difference-in-differences the
+//! real study could never run). It shows how strong an intervention
+//! would have to be before an observatory could attribute it.
+//!
+//! Run with: `cargo run --release --example takedown_whatif`
+
+use ddoscovery::{ObsId, StudyConfig, StudyRun};
+use simcore::time::takedown_dates;
+
+/// AmpPot EWMA series for a given takedown parameterization.
+fn amppot_series(dip: f64, recovery_weeks: f64) -> analytics::WeeklySeries {
+    let mut cfg = StudyConfig::quick();
+    cfg.missing_data = false;
+    cfg.gen.timeline.takedown_dip = dip;
+    cfg.gen.timeline.takedown_recovery_weeks = recovery_weeks;
+    let run = StudyRun::execute(&cfg);
+    run.normalized_series(ObsId::AmpPot).ewma(8)
+}
+
+/// Mean ratio scenario/baseline over the `n` weeks after a date.
+fn relative_level(
+    scenario: &analytics::WeeklySeries,
+    baseline: &analytics::WeeklySeries,
+    from: simcore::Date,
+    n: usize,
+) -> f64 {
+    let w = from.to_sim_time().week_index() as usize;
+    let hi = (w + 1 + n).min(scenario.values.len());
+    let mut acc = 0.0;
+    let mut count = 0;
+    for i in (w + 1)..hi {
+        let (s, b) = (scenario.values[i], baseline.values[i]);
+        if s.is_finite() && b.is_finite() && b > 0.0 {
+            acc += s / b;
+            count += 1;
+        }
+    }
+    acc / count.max(1) as f64
+}
+
+fn main() {
+    println!("Sweeping takedown dip depth (paper default: 0.16, 3-week recovery).");
+    println!("Effects are measured against the dip = 0 counterfactual (same seed).\n");
+    let baseline = amppot_series(0.0, 3.0);
+    let [t1, t2] = takedown_dates();
+    // A between-takedowns window (after #1's recovery horizon, before
+    // #2) to measure whether the first takedown left a lasting dent.
+    let inter = simcore::Date::new(2023, 3, 1);
+
+    println!(
+        "{:>8} {:>10}  {:>16} {:>16} {:>18}",
+        "dip", "recovery", "4wk after #1", "4wk after #2", "level at 2023-03"
+    );
+    for &(dip, recovery_weeks) in &[
+        (0.16, 3.0),  // the paper's indeterminate footprint
+        (0.40, 3.0),  // strong but transient
+        (0.40, 26.0), // strong and slow to recover
+        (0.70, 52.0), // a hypothetical lasting crackdown
+    ] {
+        let s = amppot_series(dip, recovery_weeks);
+        println!(
+            "{:>8.2} {:>8.0}wk  {:>15.1}% {:>15.1}% {:>17.1}%",
+            dip,
+            recovery_weeks,
+            100.0 * (relative_level(&s, &baseline, t1, 4) - 1.0),
+            100.0 * (relative_level(&s, &baseline, t2, 4) - 1.0),
+            100.0 * (relative_level(&s, &baseline, inter, 6) - 1.0),
+        );
+    }
+    println!(
+        "\nReading: the paper-calibrated dips (row 1) shave only a few percent off the\n\
+         weeks after each takedown and nothing lasting by March — inside weekly\n\
+         noise, hence §6.2's 'indeterminate footprint'. Only a deep, slow-recovering\n\
+         crackdown (last rows) leaves a lasting dent. (Scenario runs resample weekly\n\
+         noise, so ±5% wiggle between columns is expected.)"
+    );
+}

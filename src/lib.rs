@@ -1,0 +1,17 @@
+//! Workspace facade for the `ddoscovery` reproduction of
+//! "The Age of DDoScovery" (IMC 2024).
+//!
+//! This crate re-exports every workspace member so that the examples and
+//! cross-crate integration tests can reach the whole system through a
+//! single dependency. Library users should depend on the individual
+//! crates (or on [`ddoscovery`] for the orchestration layer) directly.
+
+pub use analytics;
+pub use attackgen;
+pub use ddoscovery;
+pub use flowmon;
+pub use honeypot;
+pub use netmodel;
+pub use reports;
+pub use simcore;
+pub use telescope;
