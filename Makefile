@@ -1,0 +1,15 @@
+.PHONY: build test lint bench
+
+build:
+	cargo build --release
+
+# Tier-1 gate: build + full workspace test suite + repo lint.
+test: lint
+	cargo build --release
+	cargo test -q --release --workspace
+
+lint:
+	sh tools/lint.sh
+
+bench:
+	cargo bench --workspace

@@ -10,7 +10,7 @@ use netmodel::{Asn, InternetPlan, Ipv4, Rir};
 use serde::{Deserialize, Serialize};
 use simcore::dist::{log_normal, poisson};
 use simcore::time::SECS_PER_WEEK;
-use simcore::{SimRng, SimTime, STUDY_DAYS, STUDY_WEEKS};
+use simcore::{ExecPool, SimRng, SimTime, STUDY_DAYS, STUDY_WEEKS};
 
 /// Full generator configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -56,8 +56,26 @@ pub struct AttackGenerator<'a> {
     by_rir: Vec<(Rir, Vec<usize>)>,
     /// AS indices of IXP members outside Netscout's customer base.
     ixp_only: Vec<usize>,
+    /// Root of the per-week RNG streams: week `w` draws exclusively
+    /// from `week_root.fork(w)`, so weeks generate independently — in
+    /// any order, on any worker — with identical output.
+    week_root: SimRng,
+}
+
+/// Per-week mutable generation state. Everything stochastic about one
+/// week lives here, which is what lets [`AttackGenerator::generate_week`]
+/// be `&self` and weeks run concurrently.
+struct WeekCtx {
     rng: SimRng,
     next_id: u64,
+}
+
+impl WeekCtx {
+    fn next_attack_id(&mut self) -> AttackId {
+        let id = AttackId(self.next_id);
+        self.next_id += 1;
+        id
+    }
 }
 
 impl<'a> AttackGenerator<'a> {
@@ -97,6 +115,7 @@ impl<'a> AttackGenerator<'a> {
             })
             .map(|(idx, _)| idx)
             .collect();
+        let week_root = rng.fork_named("week");
         AttackGenerator {
             plan,
             cfg,
@@ -104,8 +123,7 @@ impl<'a> AttackGenerator<'a> {
             weights,
             by_rir,
             ixp_only,
-            rng,
-            next_id: 0,
+            week_root,
         }
     }
 
@@ -115,17 +133,50 @@ impl<'a> AttackGenerator<'a> {
     }
 
     /// Generate the entire 4.5-year study, sorted by start time.
-    pub fn generate_study(&mut self) -> Vec<Attack> {
-        let mut out = Vec::new();
-        for week in 0..STUDY_WEEKS as i64 {
-            self.generate_week(week, &mut out);
+    /// Serial shortcut for [`AttackGenerator::generate_study_on`]; the
+    /// output is identical for every pool.
+    pub fn generate_study(&self) -> Vec<Attack> {
+        self.generate_study_on(&ExecPool::serial())
+    }
+
+    /// Generate the study with weeks fanned out across `pool`.
+    ///
+    /// Weeks draw from independent forks of `week_root`, so they can be
+    /// generated in any order; shards are concatenated back in week
+    /// order and ids rebased to the concatenated position — exactly the
+    /// ids a serial week-by-week pass assigns. The final sort key is
+    /// `(start, id)`, both reproducible, so the full output is bitwise
+    /// identical for 1, 2, or N workers.
+    pub fn generate_study_on(&self, pool: &ExecPool) -> Vec<Attack> {
+        let weeks: Vec<i64> = (0..STUDY_WEEKS as i64).collect();
+        let chunk = simcore::pool::shard_size(weeks.len(), pool.workers());
+        let shards = pool.par_chunks_indexed(&weeks, chunk, |_, shard| {
+            let mut out = Vec::new();
+            for &week in shard {
+                self.generate_week(week, &mut out);
+            }
+            out
+        });
+        let mut out: Vec<Attack> = Vec::with_capacity(shards.iter().map(Vec::len).sum());
+        for shard in shards {
+            let base = out.len() as u64;
+            out.extend(shard.into_iter().map(|mut a| {
+                a.id = AttackId(base + a.id.0);
+                a
+            }));
         }
         out.sort_by_key(|a| (a.start, a.id));
         out
     }
 
-    /// Generate one study week into `out`.
-    pub fn generate_week(&mut self, week: i64, out: &mut Vec<Attack>) {
+    /// Generate one study week into `out`. Ids continue from
+    /// `out.len()`, so accumulating weeks serially into one vector and
+    /// concatenating independently generated weeks agree exactly.
+    pub fn generate_week(&self, week: i64, out: &mut Vec<Attack>) {
+        let mut ctx = WeekCtx {
+            rng: self.week_root.fork(week as u64),
+            next_id: out.len() as u64,
+        };
         let week_start = SimTime::from_weeks(week);
         // The trailing study week is partial: scale the rate.
         let days_in_week = (STUDY_DAYS - week * 7).clamp(0, 7);
@@ -142,76 +193,69 @@ impl<'a> AttackGenerator<'a> {
         ] {
             let sigma = self.cfg.timeline.noise_sigma;
             // Mean-one multiplicative noise.
-            let noise = log_normal(&mut self.rng, -sigma * sigma / 2.0, sigma);
+            let noise = log_normal(&mut ctx.rng, -sigma * sigma / 2.0, sigma);
             let rate = self.cfg.timeline.weekly_rate(class, mid) * noise * frac;
-            let n = poisson(&mut self.rng, rate);
+            let n = poisson(&mut ctx.rng, rate);
             for _ in 0..n {
-                let start = self.uniform_start(week_start, days_in_week);
-                if let Some(a) = self.sample_attack(class, start, None) {
-                    self.maybe_companion(&a, out);
+                let start = self.uniform_start(&mut ctx, week_start, days_in_week);
+                if let Some(a) = self.sample_attack(&mut ctx, class, start, None) {
+                    self.maybe_companion(&mut ctx, &a, out);
                     out.push(a);
                 }
             }
         }
 
-        let campaigns = std::mem::take(&mut self.campaigns);
-        for c in &campaigns {
+        for c in &self.campaigns {
             if !c.active_at(mid) {
                 continue;
             }
             let n = poisson(
-                &mut self.rng,
+                &mut ctx.rng,
                 c.weekly_rate * self.cfg.campaign_rate_scale * frac,
             );
             for _ in 0..n {
-                let start = self.uniform_start(week_start, days_in_week);
-                if let Some(a) = self.sample_attack(c.class, start, Some(c)) {
+                let start = self.uniform_start(&mut ctx, week_start, days_in_week);
+                if let Some(a) = self.sample_attack(&mut ctx, c.class, start, Some(c)) {
                     out.push(a);
                 }
             }
         }
-        self.campaigns = campaigns;
     }
 
-    fn uniform_start(&mut self, week_start: SimTime, days: i64) -> SimTime {
-        week_start.plus_secs(self.rng.u64_below((days * 86_400) as u64) as i64)
-    }
-
-    fn next_attack_id(&mut self) -> AttackId {
-        let id = AttackId(self.next_id);
-        self.next_id += 1;
-        id
+    fn uniform_start(&self, ctx: &mut WeekCtx, week_start: SimTime, days: i64) -> SimTime {
+        week_start.plus_secs(ctx.rng.u64_below((days * 86_400) as u64) as i64)
     }
 
     /// Sample one attack of the given class starting at `start`.
     /// Returns `None` only if target selection fails (empty scope).
     fn sample_attack(
-        &mut self,
+        &self,
+        ctx: &mut WeekCtx,
         class: AttackClass,
         start: SimTime,
         campaign: Option<&Campaign>,
     ) -> Option<Attack> {
-        let (target, asn) = self.pick_target(class, start, campaign.map(|c| &c.scope))?;
+        let (target, asn) = self.pick_target(ctx, class, start, campaign.map(|c| &c.scope))?;
         let vector = match campaign {
             Some(c) => c.vector,
-            None => self.pick_vector(class, start),
+            None => self.pick_vector(ctx, class, start),
         };
         let carpet = match campaign {
             Some(c) => c.carpet,
             None => {
                 class == AttackClass::ReflectionAmplification
-                    && self.rng.chance(self.cfg.shape.carpet_probability)
+                    && ctx.rng.chance(self.cfg.shape.carpet_probability)
             }
         };
         let targets = if carpet {
             let width_range = campaign.and_then(|c| c.carpet_width);
-            self.carpet_targets(target, width_range)
+            self.carpet_targets(ctx, target, width_range)
         } else {
             vec![target]
         };
-        let duration_secs = self.cfg.shape.sample_duration(&mut self.rng);
+        let duration_secs = self.cfg.shape.sample_duration(&mut ctx.rng);
         let pps_scale = campaign.map(|c| c.pps_scale).unwrap_or(1.0);
-        let pps = self.cfg.shape.sample_pps(&mut self.rng) * pps_scale;
+        let pps = self.cfg.shape.sample_pps(&mut ctx.rng) * pps_scale;
         let bps = match vector.amp_vector() {
             Some(v) => pps * v.response_bytes() as f64 * 8.0,
             None => self.cfg.shape.pps_to_bps(pps),
@@ -220,17 +264,17 @@ impl<'a> AttackGenerator<'a> {
             let pool = *self.plan.reflector_pools.get(&v).unwrap_or(&1);
             ReflectorUse {
                 vector: v,
-                reflector_count: self.cfg.shape.sample_reflector_count(pool, &mut self.rng),
+                reflector_count: self.cfg.shape.sample_reflector_count(pool, &mut ctx.rng),
             }
         });
         let spoof_space_fraction = match class {
-            AttackClass::DirectPathSpoofed => self.cfg.shape.sample_spoof_space(&mut self.rng),
+            AttackClass::DirectPathSpoofed => self.cfg.shape.sample_spoof_space(&mut ctx.rng),
             // RA spoofs exactly the victim address; non-spoofed DP does
             // not spoof. Neither rotates over the address space.
             _ => 0.0,
         };
         Some(Attack {
-            id: self.next_attack_id(),
+            id: ctx.next_attack_id(),
             class,
             vector,
             start,
@@ -248,8 +292,8 @@ impl<'a> AttackGenerator<'a> {
     /// With small probability, attach a companion attack of the other
     /// class against the same primary target (multi-vector attacks,
     /// §7.1).
-    fn maybe_companion(&mut self, a: &Attack, out: &mut Vec<Attack>) {
-        if !self.rng.chance(self.cfg.shape.multi_class_probability) {
+    fn maybe_companion(&self, ctx: &mut WeekCtx, a: &Attack, out: &mut Vec<Attack>) {
+        if !ctx.rng.chance(self.cfg.shape.multi_class_probability) {
             return;
         }
         let class = if a.class.is_reflection() {
@@ -257,9 +301,9 @@ impl<'a> AttackGenerator<'a> {
         } else {
             AttackClass::ReflectionAmplification
         };
-        let vector = self.pick_vector(class, a.start);
-        let duration_secs = self.cfg.shape.sample_duration(&mut self.rng);
-        let pps = self.cfg.shape.sample_pps(&mut self.rng);
+        let vector = self.pick_vector(ctx, class, a.start);
+        let duration_secs = self.cfg.shape.sample_duration(&mut ctx.rng);
+        let pps = self.cfg.shape.sample_pps(&mut ctx.rng);
         let bps = match vector.amp_vector() {
             Some(v) => pps * v.response_bytes() as f64 * 8.0,
             None => self.cfg.shape.pps_to_bps(pps),
@@ -268,21 +312,21 @@ impl<'a> AttackGenerator<'a> {
             let pool = *self.plan.reflector_pools.get(&v).unwrap_or(&1);
             ReflectorUse {
                 vector: v,
-                reflector_count: self.cfg.shape.sample_reflector_count(pool, &mut self.rng),
+                reflector_count: self.cfg.shape.sample_reflector_count(pool, &mut ctx.rng),
             }
         });
         let spoof_space_fraction = match class {
-            AttackClass::DirectPathSpoofed => self.cfg.shape.sample_spoof_space(&mut self.rng),
+            AttackClass::DirectPathSpoofed => self.cfg.shape.sample_spoof_space(&mut ctx.rng),
             _ => 0.0,
         };
         out.push(Attack {
-            id: self.next_attack_id(),
+            id: ctx.next_attack_id(),
             class,
             vector,
             // Same day, shortly after: the victim is hit with both
             // classes, which the cross-observatory target join sees as a
             // same-(date, IP) tuple.
-            start: a.start.plus_secs(self.rng.u64_below(1800) as i64),
+            start: a.start.plus_secs(ctx.rng.u64_below(1800) as i64),
             duration_secs,
             targets: vec![a.primary_target()],
             target_asn: a.target_asn,
@@ -294,10 +338,10 @@ impl<'a> AttackGenerator<'a> {
         });
     }
 
-    fn pick_vector(&mut self, class: AttackClass, t: SimTime) -> AttackVector {
+    fn pick_vector(&self, ctx: &mut WeekCtx, class: AttackClass, t: SimTime) -> AttackVector {
         match class {
             AttackClass::DirectPathSpoofed => {
-                match self.rng.weighted_index(&[0.70, 0.20, 0.10]) {
+                match ctx.rng.weighted_index(&[0.70, 0.20, 0.10]) {
                     0 => AttackVector::SynFlood,
                     1 => AttackVector::UdpFlood,
                     _ => AttackVector::IcmpFlood,
@@ -307,9 +351,9 @@ impl<'a> AttackGenerator<'a> {
                 // L7 attacks grow over the study (§3: several vendors
                 // reported substantial L7 increases).
                 let l7 = 0.3 + 0.3 * simcore::dist::smoothstep(t.years_f64() / 4.5);
-                if self.rng.chance(l7) {
+                if ctx.rng.chance(l7) {
                     AttackVector::HttpFlood
-                } else if self.rng.chance(0.8) {
+                } else if ctx.rng.chance(0.8) {
                     AttackVector::SynFlood
                 } else {
                     AttackVector::UdpFlood
@@ -318,7 +362,7 @@ impl<'a> AttackGenerator<'a> {
             AttackClass::ReflectionAmplification => {
                 let mix = self.cfg.timeline.vector_mix(t);
                 let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
-                AttackVector::Amplification(mix[self.rng.weighted_index(&weights)].0)
+                AttackVector::Amplification(mix[ctx.rng.weighted_index(&weights)].0)
             }
         }
     }
@@ -326,14 +370,15 @@ impl<'a> AttackGenerator<'a> {
     /// Pick a target address (and its AS), honoring campaign scopes and
     /// the Akamai avoidance dynamic.
     fn pick_target(
-        &mut self,
+        &self,
+        ctx: &mut WeekCtx,
         class: AttackClass,
         t: SimTime,
         scope: Option<&CampaignScope>,
     ) -> Option<(Ipv4, Asn)> {
         match scope {
             Some(CampaignScope::SingleAs(asn)) => {
-                let ip = self.plan.random_ip_in_asn(*asn, &mut self.rng)?;
+                let ip = self.plan.random_ip_in_asn(*asn, &mut ctx.rng)?;
                 Some((ip, *asn))
             }
             Some(CampaignScope::Region(rir)) => {
@@ -341,26 +386,26 @@ impl<'a> AttackGenerator<'a> {
                 if indices.is_empty() {
                     return None;
                 }
-                let idx = indices[self.rng.usize_below(indices.len())];
+                let idx = indices[ctx.rng.usize_below(indices.len())];
                 let asn = self.plan.registry.by_index(idx).asn;
-                let ip = self.plan.random_ip_in_asn(asn, &mut self.rng)?;
+                let ip = self.plan.random_ip_in_asn(asn, &mut ctx.rng)?;
                 Some((ip, asn))
             }
             Some(CampaignScope::IxpMembersOnly) => {
                 if self.ixp_only.is_empty() {
                     return None;
                 }
-                let idx = self.ixp_only[self.rng.usize_below(self.ixp_only.len())];
+                let idx = self.ixp_only[ctx.rng.usize_below(self.ixp_only.len())];
                 let asn = self.plan.registry.by_index(idx).asn;
-                let ip = self.plan.random_ip_in_asn(asn, &mut self.rng)?;
+                let ip = self.plan.random_ip_in_asn(asn, &mut ctx.rng)?;
                 Some((ip, asn))
             }
             Some(CampaignScope::AkamaiProtected) => {
                 if self.plan.akamai_prefix_list.is_empty() {
                     return None;
                 }
-                let p = *self.rng.choose(&self.plan.akamai_prefix_list);
-                let ip = p.nth(self.rng.u64_below(p.size()));
+                let p = *ctx.rng.choose(&self.plan.akamai_prefix_list);
+                let ip = p.nth(ctx.rng.u64_below(p.size()));
                 let asn = self.plan.asn_of(ip)?;
                 Some((ip, asn))
             }
@@ -368,9 +413,9 @@ impl<'a> AttackGenerator<'a> {
                 // Weighted AS, with DP attacks progressively avoiding
                 // Akamai-protected space.
                 for _ in 0..6 {
-                    let idx = self.rng.weighted_index(&self.weights);
+                    let idx = ctx.rng.weighted_index(&self.weights);
                     let asn = self.plan.registry.by_index(idx).asn;
-                    let Some(ip) = self.plan.random_ip_in_asn(asn, &mut self.rng) else {
+                    let Some(ip) = self.plan.random_ip_in_asn(asn, &mut ctx.rng) else {
                         continue;
                     };
                     if class.is_direct_path() && self.plan.akamai_protects(ip) {
@@ -378,16 +423,16 @@ impl<'a> AttackGenerator<'a> {
                         let accept = self.cfg.akamai_dp_accept_start
                             + (self.cfg.akamai_dp_accept_end - self.cfg.akamai_dp_accept_start)
                                 * progress;
-                        if !self.rng.chance(accept) {
+                        if !ctx.rng.chance(accept) {
                             continue;
                         }
                     }
                     return Some((ip, asn));
                 }
                 // Fall back to any weighted target.
-                let idx = self.rng.weighted_index(&self.weights);
+                let idx = ctx.rng.weighted_index(&self.weights);
                 let asn = self.plan.registry.by_index(idx).asn;
-                let ip = self.plan.random_ip_in_asn(asn, &mut self.rng)?;
+                let ip = self.plan.random_ip_in_asn(asn, &mut ctx.rng)?;
                 Some((ip, asn))
             }
         }
@@ -397,10 +442,15 @@ impl<'a> AttackGenerator<'a> {
     /// the victim's routed prefix (Appendix I: attacks spread within one
     /// BGP-routed block; region-wide campaigns emerge from many such
     /// attacks).
-    fn carpet_targets(&mut self, seed_ip: Ipv4, width_range: Option<(u32, u32)>) -> Vec<Ipv4> {
+    fn carpet_targets(
+        &self,
+        ctx: &mut WeekCtx,
+        seed_ip: Ipv4,
+        width_range: Option<(u32, u32)>,
+    ) -> Vec<Ipv4> {
         let width = match width_range {
-            Some((lo, hi)) => self.rng.u64_range(lo as u64, hi as u64),
-            None => self.cfg.shape.sample_carpet_width(&mut self.rng) as u64,
+            Some((lo, hi)) => ctx.rng.u64_range(lo as u64, hi as u64),
+            None => self.cfg.shape.sample_carpet_width(&mut ctx.rng) as u64,
         };
         let prefix = self
             .plan
@@ -410,7 +460,7 @@ impl<'a> AttackGenerator<'a> {
         let width = width.min(span);
         let max_offset = span - width;
         let base_off = if max_offset > 0 {
-            self.rng.u64_below(max_offset + 1)
+            ctx.rng.u64_below(max_offset + 1)
         } else {
             0
         };
@@ -423,8 +473,7 @@ impl<'a> AttackGenerator<'a> {
 /// Convenience: generate a full study with default configuration.
 pub fn generate_default_study(plan: &InternetPlan, seed: u64) -> Vec<Attack> {
     let rng = SimRng::new(seed);
-    let mut g = AttackGenerator::new(plan, GenConfig::default(), &rng);
-    g.generate_study()
+    AttackGenerator::new(plan, GenConfig::default(), &rng).generate_study()
 }
 
 /// Weekly ground-truth attack counts per class (handy for calibration
@@ -492,6 +541,18 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.first().map(|x| x.id), b.first().map(|x| x.id));
         assert_eq!(a.last().map(|x| x.start), b.last().map(|x| x.start));
+    }
+
+    #[test]
+    fn parallel_weeks_match_serial() {
+        let plan = small_plan();
+        let rng = SimRng::new(5);
+        let gen = AttackGenerator::new(plan, small_cfg(), &rng);
+        let serial = gen.generate_study_on(&simcore::ExecPool::serial());
+        for workers in [2, 4] {
+            let par = gen.generate_study_on(&simcore::ExecPool::new(workers));
+            assert_eq!(serial, par, "workers={workers}");
+        }
     }
 
     #[test]

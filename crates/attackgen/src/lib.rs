@@ -22,7 +22,9 @@ pub use attack::{Attack, AttackClass, AttackId, AttackVector, ReflectorUse};
 pub use booters::{Booter, BooterMarket, BooterMarketParams};
 pub use campaigns::{Campaign, CampaignScope};
 pub use generator::{generate_default_study, weekly_class_counts, AttackGenerator, GenConfig};
-pub use observed::{distinct_target_tuples, weekly_counts, ObservedAttack};
+pub use observed::{
+    distinct_target_tuples, distinct_target_tuples_of, weekly_counts, ObservedAttack,
+};
 pub use packets::PacketEvent;
 pub use sav::{SavModel, SavParams, SpooferEstimate, SpooferPanel};
 pub use scans::{generate_scans, scan_probe_packets, ScanCampaign, ScanParams};

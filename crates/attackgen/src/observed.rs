@@ -55,10 +55,16 @@ pub fn weekly_counts(observations: &[ObservedAttack]) -> Vec<f64> {
 
 /// Collect the distinct (day, target IP) tuples of an observation set.
 pub fn distinct_target_tuples(observations: &[ObservedAttack]) -> Vec<(i64, Ipv4)> {
-    let mut tuples: Vec<(i64, Ipv4)> = observations
-        .iter()
-        .flat_map(|o| o.target_tuples())
-        .collect();
+    distinct_target_tuples_of(observations.iter())
+}
+
+/// Like [`distinct_target_tuples`], but over any iterator of borrowed
+/// observations — callers holding `Vec<&ObservedAttack>` (e.g. a
+/// baseline sample) can compute tuples without cloning a single record.
+pub fn distinct_target_tuples_of<'a>(
+    observations: impl Iterator<Item = &'a ObservedAttack>,
+) -> Vec<(i64, Ipv4)> {
+    let mut tuples: Vec<(i64, Ipv4)> = observations.flat_map(|o| o.target_tuples()).collect();
     tuples.sort_unstable();
     tuples.dedup();
     tuples

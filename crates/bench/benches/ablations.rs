@@ -4,14 +4,14 @@
 //!   macro study uses the analytic path;
 //! * attack generation with and without campaign layering;
 //! * carpet-bombing reconstruction cost on honeypot streams;
-//! * observatory fan-out: serial vs the pipeline's concurrent scope.
+//! * observatory fan-out: serial vs the shared execution pool.
 
 use attackgen::packets::backscatter_packets;
 use attackgen::{AttackClass, AttackGenerator, GenConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use honeypot::{reconstruct_carpet_attacks, Honeypot};
 use netmodel::{InternetPlan, NetScale};
-use simcore::SimRng;
+use simcore::{ExecPool, SimRng};
 use std::hint::black_box;
 use telescope::{RsdosConfig, RsdosDetector, Telescope};
 
@@ -37,7 +37,7 @@ fn small_gen_cfg(campaigns: bool) -> GenConfig {
 fn bench_fidelity_ablation(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(12);
-    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
+    let gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
     let mut attacks = Vec::new();
     for week in 0..26 {
         gen.generate_week(week, &mut attacks);
@@ -86,7 +86,7 @@ fn bench_campaign_ablation(c: &mut Criterion) {
     for (label, campaigns) in [("without_campaigns", false), ("with_campaigns", true)] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut gen = AttackGenerator::new(&plan, small_gen_cfg(campaigns), &root);
+                let gen = AttackGenerator::new(&plan, small_gen_cfg(campaigns), &root);
                 black_box(gen.generate_study().len())
             })
         });
@@ -97,7 +97,7 @@ fn bench_campaign_ablation(c: &mut Criterion) {
 fn bench_carpet_reconstruction(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(14);
-    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(true), &root);
+    let gen = AttackGenerator::new(&plan, small_gen_cfg(true), &root);
     let attacks = gen.generate_study();
     let hp = Honeypot::hopscotch(&plan);
     let raw = hp.observe_all(&attacks, &root);
@@ -115,7 +115,7 @@ fn bench_carpet_reconstruction(c: &mut Criterion) {
 fn bench_fanout_ablation(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(15);
-    let mut gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
+    let gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
     let attacks = gen.generate_study();
     let ucsd = Telescope::ucsd(&plan);
     let orion = Telescope::orion(&plan);
@@ -132,20 +132,14 @@ fn bench_fanout_ablation(c: &mut Criterion) {
             black_box(a + b2 + c2 + d)
         })
     });
-    group.bench_function("concurrent_four_observatories", |b| {
+    let pool = ExecPool::global();
+    group.bench_function("pooled_four_observatories", |b| {
         b.iter(|| {
-            let mut results = [0usize; 4];
-            let (r0, rest) = results.split_at_mut(1);
-            let (r1, rest2) = rest.split_at_mut(1);
-            let (r2, r3) = rest2.split_at_mut(1);
-            crossbeam::thread::scope(|s| {
-                s.spawn(|_| r0[0] = ucsd.observe_all(&attacks, &root).len());
-                s.spawn(|_| r1[0] = orion.observe_all(&attacks, &root).len());
-                s.spawn(|_| r2[0] = hops.observe_all(&attacks, &root).len());
-                s.spawn(|_| r3[0] = amppot.observe_all(&attacks, &root).len());
-            })
-            .unwrap();
-            black_box(results.iter().sum::<usize>())
+            let a = ucsd.observe_all_on(&attacks, &root, &pool).len();
+            let b2 = orion.observe_all_on(&attacks, &root, &pool).len();
+            let c2 = hops.observe_all_on(&attacks, &root, &pool).len();
+            let d = amppot.observe_all_on(&attacks, &root, &pool).len();
+            black_box(a + b2 + c2 + d)
         })
     });
     group.finish();

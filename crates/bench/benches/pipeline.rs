@@ -1,0 +1,85 @@
+//! End-to-end pipeline benches at `StudyConfig::quick()` scale:
+//! generate → observe → project, plus the full `StudyRun::execute`
+//! under different worker counts. These are the numbers behind the
+//! execution-engine speedup claims in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddoscovery::pipeline::{ObsId, StudyRun};
+use ddoscovery::scenario::StudyConfig;
+use attackgen::AttackGenerator;
+use netmodel::InternetPlan;
+use simcore::{ExecPool, SimRng};
+use std::hint::black_box;
+
+fn quick_cfg() -> StudyConfig {
+    StudyConfig::quick()
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let cfg = quick_cfg();
+    let root = SimRng::new(cfg.seed);
+    let mut plan_rng = root.fork_named("plan");
+    let plan = InternetPlan::build(&cfg.net, &mut plan_rng);
+    let gen = AttackGenerator::new(&plan, cfg.gen.clone(), &root);
+    let mut group = c.benchmark_group("pipeline_generate");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(gen.generate_study_on(&ExecPool::serial()).len()))
+    });
+    group.bench_function("pooled", |b| {
+        b.iter(|| black_box(gen.generate_study_on(&ExecPool::global()).len()))
+    });
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let cfg = quick_cfg();
+    let mut group = c.benchmark_group("pipeline_observe");
+    group.sample_size(10);
+    group.bench_function("execute_1_worker", |b| {
+        b.iter(|| {
+            let run = StudyRun::execute_on(&cfg, &ExecPool::serial());
+            black_box(run.attacks.len())
+        })
+    });
+    group.bench_function("execute_pooled", |b| {
+        b.iter(|| {
+            let run = StudyRun::execute_on(&cfg, &ExecPool::global());
+            black_box(run.attacks.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_project(c: &mut Criterion) {
+    let cfg = quick_cfg();
+    let run = StudyRun::execute(&cfg);
+    let total: usize = ObsId::ALL.iter().map(|&id| run.observations(id).len()).sum();
+    let mut group = c.benchmark_group("pipeline_project");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("cold_all_series", |b| {
+        b.iter(|| {
+            // Fresh run per iteration: measures the uncached projection
+            // cost that the memoization layer amortizes away.
+            let fresh = StudyRun::execute(&cfg);
+            let mut present = 0usize;
+            for &id in &ObsId::ALL {
+                present += fresh.normalized_series(id).present().count();
+            }
+            black_box(present)
+        })
+    });
+    group.bench_function("warm_all_series", |b| {
+        b.iter(|| {
+            let mut present = 0usize;
+            for &id in &ObsId::ALL {
+                present += run.normalized_series(id).present().count();
+            }
+            black_box(present + run.netscout_baseline_tuples().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_observe, bench_project);
+criterion_main!(benches);

@@ -278,7 +278,7 @@ pub fn table3(_run: &StudyRun) -> ExperimentResult {
 pub fn table4(run: &StudyRun) -> ExperimentResult {
     let sets: Vec<(String, Vec<analytics::TargetTuple>)> = ObsId::ACADEMIC
         .iter()
-        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .map(|&id| (id.name().to_string(), run.target_tuples(id).to_vec()))
         .collect();
     let analysis = upset(&sets);
     // Recover the all-four tuples and attribute them to ASes.

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 fn academic_sets(run: &StudyRun) -> Vec<(String, Vec<TargetTuple>)> {
     ObsId::ACADEMIC
         .iter()
-        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .map(|&id| (id.name().to_string(), run.target_tuples(id).to_vec()))
         .collect()
 }
 

@@ -54,7 +54,7 @@ pub fn fig2(run: &StudyRun) -> ExperimentResult {
         ObsId::AkamaiDp,
         ObsId::IxpDp,
     ];
-    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id)).collect();
+    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id).clone()).collect();
     let (body, csvs) = trend_block(&series);
     ExperimentResult {
         id: "fig2",
@@ -77,7 +77,7 @@ pub fn fig3(run: &StudyRun) -> ExperimentResult {
         ObsId::AkamaiRa,
         ObsId::IxpRa,
     ];
-    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id)).collect();
+    let series: Vec<WeeklySeries> = ids.iter().map(|&id| run.normalized_series(id).clone()).collect();
     let (mut body, csvs) = trend_block(&series);
     body.push_str("\nTakedown markers (red dashed lines in the paper):\n");
     for d in takedown_dates() {
@@ -147,7 +147,7 @@ pub fn fig5(run: &StudyRun) -> ExperimentResult {
             ));
         }
     }
-    let csv = series_csv(&[ra, dp, share, smoothed]);
+    let csv = series_csv(&[ra.clone(), dp.clone(), share, smoothed]);
     ExperimentResult {
         id: "fig5",
         title: "Figure 5: Netscout RA/DP attack share and 50% crossing".into(),
@@ -172,6 +172,6 @@ pub fn fig12(run: &StudyRun) -> ExperimentResult {
         id: "fig12",
         title: "Figure 12 (App. D): NewKid honeypot trends".into(),
         body,
-        csv: vec![("fig12_newkid.csv".into(), series_csv(&[s]))],
+        csv: vec![("fig12_newkid.csv".into(), series_csv(&[s.clone()]))],
     }
 }

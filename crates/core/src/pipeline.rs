@@ -4,12 +4,17 @@
 
 use crate::scenario::StudyConfig;
 use analytics::{TargetTuple, WeeklySeries};
-use attackgen::{distinct_target_tuples, weekly_counts, Attack, AttackGenerator, ObservedAttack};
-use flowmon::{split_by_class, Akamai, IxpBlackholing, Netscout, NetscoutAlert};
+use attackgen::{
+    distinct_target_tuples, distinct_target_tuples_of, weekly_counts, Attack, AttackClass,
+    AttackGenerator, ObservedAttack,
+};
+use flowmon::{split_by_class, Akamai, IxpBlackholing, IxpDetection, Netscout, NetscoutAlert};
 use honeypot::{reconstruct_carpet_attacks, Honeypot};
 use netmodel::InternetPlan;
 use serde::{Deserialize, Serialize};
-use simcore::{Date, SimRng};
+use simcore::{Date, ExecPool, SimRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use telescope::Telescope;
 
 /// The ten observatory series of Fig. 4, plus NewKid (Appendix D).
@@ -45,6 +50,21 @@ impl ObsId {
 
     /// The four academic observatories of the §7 target analysis.
     pub const ACADEMIC: [ObsId; 4] = [ObsId::Orion, ObsId::Ucsd, ObsId::Hopscotch, ObsId::AmpPot];
+
+    /// Every series the pipeline maintains: the main ten plus NewKid.
+    pub const ALL: [ObsId; 11] = [
+        ObsId::Orion,
+        ObsId::Ucsd,
+        ObsId::NetscoutDp,
+        ObsId::AkamaiDp,
+        ObsId::IxpDp,
+        ObsId::Hopscotch,
+        ObsId::AmpPot,
+        ObsId::NetscoutRa,
+        ObsId::AkamaiRa,
+        ObsId::IxpRa,
+        ObsId::NewKid,
+    ];
 
     pub const fn name(self) -> &'static str {
         match self {
@@ -87,6 +107,63 @@ impl ObsId {
     }
 }
 
+/// Counts of projection computations performed so far (NOT lookups:
+/// a memoized hit leaves these untouched). Exposed for the cache-hit
+/// regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProjectionStats {
+    pub weekly_computed: usize,
+    pub normalized_computed: usize,
+    pub tuples_computed: usize,
+    pub baseline_computed: usize,
+}
+
+/// Lazily-computed per-observatory projections. Every slot is a
+/// `OnceLock`, so concurrent readers (sweep threads, experiment
+/// renderers) each compute a projection at most once per run.
+struct ProjectionCache {
+    weekly: [OnceLock<WeeklySeries>; 11],
+    normalized: [OnceLock<WeeklySeries>; 11],
+    tuples: [OnceLock<Vec<TargetTuple>>; 11],
+    baseline: OnceLock<Vec<TargetTuple>>,
+    weekly_computed: AtomicUsize,
+    normalized_computed: AtomicUsize,
+    tuples_computed: AtomicUsize,
+    baseline_computed: AtomicUsize,
+}
+
+impl ProjectionCache {
+    fn new() -> Self {
+        ProjectionCache {
+            weekly: std::array::from_fn(|_| OnceLock::new()),
+            normalized: std::array::from_fn(|_| OnceLock::new()),
+            tuples: std::array::from_fn(|_| OnceLock::new()),
+            baseline: OnceLock::new(),
+            weekly_computed: AtomicUsize::new(0),
+            normalized_computed: AtomicUsize::new(0),
+            tuples_computed: AtomicUsize::new(0),
+            baseline_computed: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// One unit of observatory work: `(which observatory, which attack
+/// shard)`. The execute fan-out flattens the full cross product onto
+/// the pool so a slow observatory cannot serialize the others.
+#[derive(Debug, Clone, Copy)]
+struct ObsTask {
+    observatory: usize,
+    shard: usize,
+}
+
+/// Heterogeneous per-shard observatory output.
+enum ShardOut {
+    Plain(Vec<ObservedAttack>),
+    IxpTagged(Vec<(IxpDetection, ObservedAttack)>),
+    AkamaiTagged(Vec<(AttackClass, ObservedAttack)>),
+    Alerts(Vec<NetscoutAlert>),
+}
+
 /// A completed study run.
 pub struct StudyRun {
     pub config: StudyConfig,
@@ -96,21 +173,40 @@ pub struct StudyRun {
     observations: Vec<Vec<ObservedAttack>>,
     /// All Netscout alerts (needed for the §7.2 baseline sample).
     pub netscout_alerts: Vec<NetscoutAlert>,
+    /// The Netscout instance that produced the alerts, kept for the
+    /// baseline sample (rebuilding it per projection call was the old
+    /// `netscout_baseline_tuples` hot spot).
+    netscout: Netscout,
+    /// The observatory RNG root the run executed with.
+    obs_root: SimRng,
+    cache: ProjectionCache,
 }
 
 impl StudyRun {
-    /// Execute the full pipeline. Deterministic in `config.seed`.
-    ///
-    /// Observatories run concurrently (they are independent readers of
-    /// the attack stream); determinism is preserved because every
-    /// observation RNG forks from (attack id, observatory name), never
-    /// from shared mutable state.
+    /// Execute the full pipeline. Deterministic in `config.seed`,
+    /// regardless of worker count: uses `config.workers` if set, else
+    /// the process-wide default pool.
     pub fn execute(config: &StudyConfig) -> StudyRun {
+        let pool = config.workers.map(ExecPool::new).unwrap_or_default();
+        Self::execute_on(config, &pool)
+    }
+
+    /// Execute the full pipeline on a caller-provided pool.
+    ///
+    /// Attack generation fans out per study week; observation fans out
+    /// as the (observatory × attack-shard) cross product. Determinism
+    /// is preserved because every stochastic unit forks its RNG from
+    /// immutable inputs — week index for generation, (attack id,
+    /// observatory name) for observation — and the pool merges shard
+    /// results in deterministic order. Carpet reconstruction and the
+    /// Netscout class split remain ordered post-passes over already-
+    /// merged streams.
+    pub fn execute_on(config: &StudyConfig, pool: &ExecPool) -> StudyRun {
         let root = SimRng::new(config.seed);
         let mut plan_rng = root.fork_named("plan");
         let plan = InternetPlan::build(&config.net, &mut plan_rng);
         let attacks =
-            AttackGenerator::new(&plan, config.gen.clone(), &root).generate_study();
+            AttackGenerator::new(&plan, config.gen.clone(), &root).generate_study_on(pool);
         let obs_root = root.fork_named("observatories");
 
         let ucsd = Telescope::ucsd(&plan);
@@ -122,47 +218,93 @@ impl StudyRun {
         let netscout = Netscout::with_defaults(&plan);
         let akamai = Akamai::with_defaults(&plan);
 
-        // Honeypot post-processing: CCC / Appendix-I reconstruction
-        // merges concurrent same-prefix events.
+        // Flatten (observatory × attack-shard) onto the pool. Tasks are
+        // ordered observatory-major / shard-minor and the pool returns
+        // results in task order, so per-observatory concatenation below
+        // reproduces each serial `observe_all` exactly.
+        const N_OBSERVATORIES: usize = 8;
+        let chunk = simcore::pool::shard_size(attacks.len(), pool.workers());
+        let n_shards = attacks.chunks(chunk).count().max(1);
+        let tasks: Vec<ObsTask> = (0..N_OBSERVATORIES)
+            .flat_map(|observatory| {
+                (0..n_shards).map(move |shard| ObsTask { observatory, shard })
+            })
+            .collect();
+        let outputs = pool.par_chunks_indexed(&tasks, 1, |_, task| {
+            let ObsTask { observatory, shard } = task[0];
+            let lo = shard * chunk;
+            let hi = (lo + chunk).min(attacks.len());
+            let slice = &attacks[lo..hi];
+            let plain = |obs: &dyn Fn(&Attack) -> Option<ObservedAttack>| {
+                ShardOut::Plain(slice.iter().filter_map(obs).collect())
+            };
+            match observatory {
+                0 => plain(&|a| ucsd.observe(a, &obs_root)),
+                1 => plain(&|a| orion.observe(a, &obs_root)),
+                2 => plain(&|a| hopscotch.observe(a, &obs_root)),
+                3 => plain(&|a| amppot.observe(a, &obs_root)),
+                4 => plain(&|a| newkid.observe(a, &obs_root)),
+                5 => ShardOut::IxpTagged(
+                    slice.iter().filter_map(|a| ixp.observe(a, &obs_root)).collect(),
+                ),
+                6 => ShardOut::AkamaiTagged(
+                    slice.iter().filter_map(|a| akamai.observe(a, &obs_root)).collect(),
+                ),
+                _ => ShardOut::Alerts(
+                    slice
+                        .iter()
+                        .filter_map(|a| netscout.observe(a, &obs_root))
+                        .collect(),
+                ),
+            }
+        });
+
+        // Merge shard outputs back into one stream per observatory.
+        let mut plain_streams: Vec<Vec<ObservedAttack>> = (0..5).map(|_| Vec::new()).collect();
+        let mut ixp_tagged: Vec<(IxpDetection, ObservedAttack)> = Vec::new();
+        let mut akamai_tagged: Vec<(AttackClass, ObservedAttack)> = Vec::new();
+        let mut alerts: Vec<NetscoutAlert> = Vec::new();
+        for (task, out) in tasks.iter().zip(outputs) {
+            match out {
+                ShardOut::Plain(v) => plain_streams[task.observatory].extend(v),
+                ShardOut::IxpTagged(v) => ixp_tagged.extend(v),
+                ShardOut::AkamaiTagged(v) => akamai_tagged.extend(v),
+                ShardOut::Alerts(v) => alerts.extend(v),
+            }
+        }
+        let [ucsd_raw, orion_raw, hopscotch_raw, amppot_raw, newkid_raw]: [Vec<ObservedAttack>;
+            5] = plain_streams.try_into().expect("five plain streams");
+
+        // Ordered post-passes: CCC / Appendix-I carpet reconstruction
+        // merges concurrent same-prefix honeypot events; the flow
+        // monitors split into their published (RA, DP) series.
         let carpet_gap_secs = 3600;
+        let hopscotch_obs = reconstruct_carpet_attacks(&plan, &hopscotch_raw, carpet_gap_secs);
+        let amppot_obs = reconstruct_carpet_attacks(&plan, &amppot_raw, carpet_gap_secs);
+        let newkid_obs = reconstruct_carpet_attacks(&plan, &newkid_raw, carpet_gap_secs);
 
-        let mut ucsd_obs = Vec::new();
-        let mut orion_obs = Vec::new();
-        let mut hopscotch_obs = Vec::new();
-        let mut amppot_obs = Vec::new();
-        let mut newkid_obs = Vec::new();
-        let mut ixp_pair = (Vec::new(), Vec::new());
-        let mut akamai_pair = (Vec::new(), Vec::new());
-        let mut alerts = Vec::new();
-
-        crossbeam::thread::scope(|s| {
-            s.spawn(|_| ucsd_obs = ucsd.observe_all(&attacks, &obs_root));
-            s.spawn(|_| orion_obs = orion.observe_all(&attacks, &obs_root));
-            s.spawn(|_| {
-                let raw = hopscotch.observe_all(&attacks, &obs_root);
-                hopscotch_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
-            });
-            s.spawn(|_| {
-                let raw = amppot.observe_all(&attacks, &obs_root);
-                amppot_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
-            });
-            s.spawn(|_| {
-                let raw = newkid.observe_all(&attacks, &obs_root);
-                newkid_obs = reconstruct_carpet_attacks(&plan, &raw, carpet_gap_secs);
-            });
-            s.spawn(|_| ixp_pair = ixp.observe_all(&attacks, &obs_root));
-            s.spawn(|_| akamai_pair = akamai.observe_all(&attacks, &obs_root));
-            s.spawn(|_| alerts = netscout.observe_all(&attacks, &obs_root));
-        })
-        .expect("observatory thread panicked");
-
+        let mut ixp_ra = Vec::new();
+        let mut ixp_dp = Vec::new();
+        for (det, o) in ixp_tagged {
+            match det {
+                IxpDetection::ReflectionAmplification => ixp_ra.push(o),
+                IxpDetection::DirectPath => ixp_dp.push(o),
+            }
+        }
+        let mut akamai_ra = Vec::new();
+        let mut akamai_dp = Vec::new();
+        for (class, o) in akamai_tagged {
+            if class.is_reflection() {
+                akamai_ra.push(o);
+            } else {
+                akamai_dp.push(o);
+            }
+        }
         let (netscout_ra, netscout_dp) = split_by_class(&alerts);
-        let (ixp_ra, ixp_dp) = ixp_pair;
-        let (akamai_ra, akamai_dp) = akamai_pair;
 
         let mut observations = vec![Vec::new(); 11];
-        observations[ObsId::Orion.index()] = orion_obs;
-        observations[ObsId::Ucsd.index()] = ucsd_obs;
+        observations[ObsId::Orion.index()] = orion_raw;
+        observations[ObsId::Ucsd.index()] = ucsd_raw;
         observations[ObsId::NetscoutDp.index()] = netscout_dp;
         observations[ObsId::AkamaiDp.index()] = akamai_dp;
         observations[ObsId::IxpDp.index()] = ixp_dp;
@@ -179,6 +321,9 @@ impl StudyRun {
             attacks,
             observations,
             netscout_alerts: alerts,
+            netscout,
+            obs_root,
+            cache: ProjectionCache::new(),
         }
     }
 
@@ -188,54 +333,79 @@ impl StudyRun {
     }
 
     /// Raw weekly attack counts (§5 aggregation), with the paper's
-    /// missing-data gaps masked when configured.
-    pub fn weekly_series(&self, id: ObsId) -> WeeklySeries {
-        let mut s = WeeklySeries::new(id.name(), weekly_counts(self.observations(id)));
-        if self.config.missing_data {
-            match id {
-                ObsId::Orion => {
-                    // ORION missing 2019Q3–Q4 (§6.1).
-                    let lo = Date::new(2019, 7, 1).to_sim_time().week_index() as usize;
-                    let hi = Date::new(2020, 1, 1).to_sim_time().week_index() as usize;
-                    s.mask_range(lo, hi);
+    /// missing-data gaps masked when configured. Memoized per series.
+    pub fn weekly_series(&self, id: ObsId) -> &WeeklySeries {
+        self.cache.weekly[id.index()].get_or_init(|| {
+            self.cache.weekly_computed.fetch_add(1, Ordering::Relaxed);
+            let mut s = WeeklySeries::new(id.name(), weekly_counts(self.observations(id)));
+            if self.config.missing_data {
+                match id {
+                    ObsId::Orion => {
+                        // ORION missing 2019Q3–Q4 (§6.1).
+                        let lo = Date::new(2019, 7, 1).to_sim_time().week_index() as usize;
+                        let hi = Date::new(2020, 1, 1).to_sim_time().week_index() as usize;
+                        s.mask_range(lo, hi);
+                    }
+                    ObsId::IxpDp | ObsId::IxpRa => {
+                        // IXP missing January 2019.
+                        let hi = Date::new(2019, 2, 1).to_sim_time().week_index() as usize;
+                        s.mask_range(0, hi);
+                    }
+                    _ => {}
                 }
-                ObsId::IxpDp | ObsId::IxpRa => {
-                    // IXP missing January 2019.
-                    let hi = Date::new(2019, 2, 1).to_sim_time().week_index() as usize;
-                    s.mask_range(0, hi);
-                }
-                _ => {}
             }
-        }
-        s
+            s
+        })
     }
 
     /// Normalized weekly series (median of the first 15 present weeks).
-    pub fn normalized_series(&self, id: ObsId) -> WeeklySeries {
-        self.weekly_series(id).normalize_to_baseline()
+    /// Memoized per series.
+    pub fn normalized_series(&self, id: ObsId) -> &WeeklySeries {
+        self.cache.normalized[id.index()].get_or_init(|| {
+            self.cache.normalized_computed.fetch_add(1, Ordering::Relaxed);
+            self.weekly_series(id).normalize_to_baseline()
+        })
     }
 
     /// All ten main series, normalized, in Fig.-4 order.
     pub fn all_ten_normalized(&self) -> Vec<WeeklySeries> {
         ObsId::MAIN_TEN
             .iter()
-            .map(|&id| self.normalized_series(id))
+            .map(|&id| self.normalized_series(id).clone())
             .collect()
     }
 
     /// Distinct (day, target IP) tuples of one observatory (§7).
-    pub fn target_tuples(&self, id: ObsId) -> Vec<TargetTuple> {
-        distinct_target_tuples(self.observations(id))
+    /// Memoized per series.
+    pub fn target_tuples(&self, id: ObsId) -> &[TargetTuple] {
+        self.cache.tuples[id.index()].get_or_init(|| {
+            self.cache.tuples_computed.fetch_add(1, Ordering::Relaxed);
+            distinct_target_tuples(self.observations(id))
+        })
     }
 
     /// Target tuples of the Netscout §7.2 baseline sample (~28 % of
-    /// alerts).
-    pub fn netscout_baseline_tuples(&self) -> Vec<TargetTuple> {
-        let netscout = Netscout::with_defaults(&self.plan);
-        let root = SimRng::new(self.config.seed).fork_named("observatories");
-        let sample = netscout.baseline_sample(&self.netscout_alerts, &root);
-        let obs: Vec<ObservedAttack> = sample.iter().map(|a| a.observation.clone()).collect();
-        distinct_target_tuples(&obs)
+    /// alerts). Memoized; reuses the run's own `Netscout` instance and
+    /// observatory RNG root, and borrows the sampled observations
+    /// instead of cloning them.
+    pub fn netscout_baseline_tuples(&self) -> &[TargetTuple] {
+        self.cache.baseline.get_or_init(|| {
+            self.cache.baseline_computed.fetch_add(1, Ordering::Relaxed);
+            let sample = self
+                .netscout
+                .baseline_sample(&self.netscout_alerts, &self.obs_root);
+            distinct_target_tuples_of(sample.into_iter().map(|al| &al.observation))
+        })
+    }
+
+    /// Counts of projection computations so far (cache instrumentation).
+    pub fn projection_stats(&self) -> ProjectionStats {
+        ProjectionStats {
+            weekly_computed: self.cache.weekly_computed.load(Ordering::Relaxed),
+            normalized_computed: self.cache.normalized_computed.load(Ordering::Relaxed),
+            tuples_computed: self.cache.tuples_computed.load(Ordering::Relaxed),
+            baseline_computed: self.cache.baseline_computed.load(Ordering::Relaxed),
+        }
     }
 
     /// Target tuples of the Akamai §7.2 join: both classes, restricted
@@ -244,8 +414,8 @@ impl StudyRun {
     /// protected customer base (which is why the paper's Akamai joins
     /// are ≈100× smaller than Netscout's).
     pub fn akamai_tuples(&self) -> Vec<TargetTuple> {
-        let mut all = self.target_tuples(ObsId::AkamaiRa);
-        all.extend(self.target_tuples(ObsId::AkamaiDp));
+        let mut all = self.target_tuples(ObsId::AkamaiRa).to_vec();
+        all.extend_from_slice(self.target_tuples(ObsId::AkamaiDp));
         all.retain(|&(_, ip)| self.plan.akamai_announces(ip));
         all.sort_unstable();
         all.dedup();
@@ -367,8 +537,8 @@ mod tests {
     fn netscout_baseline_is_subset() {
         let run = quick_run();
         let baseline = run.netscout_baseline_tuples();
-        let mut full = run.target_tuples(ObsId::NetscoutRa);
-        full.extend(run.target_tuples(ObsId::NetscoutDp));
+        let mut full = run.target_tuples(ObsId::NetscoutRa).to_vec();
+        full.extend_from_slice(run.target_tuples(ObsId::NetscoutDp));
         let full: std::collections::HashSet<_> = full.into_iter().collect();
         assert!(!baseline.is_empty());
         assert!(baseline.len() < full.len());

@@ -15,6 +15,11 @@ pub struct StudyConfig {
     /// Reproduce the paper's missing-data gaps (ORION 2019Q3–Q4, IXP
     /// January 2019, §6.1) by masking those weeks.
     pub missing_data: bool,
+    /// Worker count for the execution pool. `None` uses the process
+    /// default (the `DDOSCOVERY_WORKERS` env var, else available
+    /// parallelism). Results are identical for every setting — the
+    /// pool merges shards in deterministic order.
+    pub workers: Option<usize>,
 }
 
 impl Default for StudyConfig {
@@ -24,6 +29,7 @@ impl Default for StudyConfig {
             net: NetScale::default(),
             gen: GenConfig::default(),
             missing_data: true,
+            workers: None,
         }
     }
 }

@@ -3,13 +3,15 @@
 //! "what would the observatories have reported if X had been
 //! different?" questions (SAV strength, takedown depth, growth rates).
 //!
-//! Runs execute concurrently (each study is independent and internally
-//! deterministic).
+//! Grid points run concurrently on the shared execution pool (each
+//! study is independent and internally deterministic); nested study
+//! fan-outs reuse the same pool handle, which is reentrant.
 
 use crate::pipeline::{ObsId, StudyRun};
 use crate::scenario::StudyConfig;
 use analytics::Trend;
 use serde::{Deserialize, Serialize};
+use simcore::ExecPool;
 
 /// Outcome of one sweep point for one observatory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,32 +34,30 @@ pub fn sweep(
     observatories: &[ObsId],
     apply: impl Fn(&mut StudyConfig, f64) + Sync,
 ) -> Vec<SweepOutcome> {
-    let mut results: Vec<Vec<SweepOutcome>> = vec![Vec::new(); values.len()];
-    crossbeam::thread::scope(|s| {
-        for (slot, &value) in results.iter_mut().zip(values) {
-            let apply = &apply;
-            s.spawn(move |_| {
-                let mut cfg = base.clone();
-                apply(&mut cfg, value);
-                let run = StudyRun::execute(&cfg);
-                for &id in observatories {
-                    let series = run.normalized_series(id);
-                    let change = series
-                        .linear_regression()
-                        .map(|r| r.slope * 208.0 / r.intercept.max(1e-9))
-                        .unwrap_or(f64::NAN);
-                    slot.push(SweepOutcome {
-                        value,
-                        observatory: id.name().to_string(),
-                        observations: run.observations(id).len(),
-                        trend: series.trend(),
-                        change_4y: change,
-                    });
+    let pool = base.workers.map(ExecPool::new).unwrap_or_default();
+    let results = pool.run_indexed(values.len(), |i| {
+        let value = values[i];
+        let mut cfg = base.clone();
+        apply(&mut cfg, value);
+        let run = StudyRun::execute_on(&cfg, &pool);
+        observatories
+            .iter()
+            .map(|&id| {
+                let series = run.normalized_series(id);
+                let change = series
+                    .linear_regression()
+                    .map(|r| r.slope * 208.0 / r.intercept.max(1e-9))
+                    .unwrap_or(f64::NAN);
+                SweepOutcome {
+                    value,
+                    observatory: id.name().to_string(),
+                    observations: run.observations(id).len(),
+                    trend: series.trend(),
+                    change_4y: change,
                 }
-            });
-        }
-    })
-    .expect("sweep thread panicked");
+            })
+            .collect::<Vec<SweepOutcome>>()
+    });
     results.into_iter().flatten().collect()
 }
 

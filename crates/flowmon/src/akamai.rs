@@ -90,19 +90,41 @@ impl Akamai {
         attacks: &[Attack],
         root: &SimRng,
     ) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
-        let mut ra = Vec::new();
-        let mut dp = Vec::new();
-        for a in attacks {
-            if let Some((class, o)) = self.observe(a, root) {
-                if class.is_reflection() {
-                    ra.push(o);
-                } else {
-                    dp.push(o);
-                }
-            }
-        }
-        (ra, dp)
+        split_by_class(
+            attacks
+                .iter()
+                .filter_map(|a| self.observe(a, root))
+                .collect(),
+        )
     }
+
+    /// Observe a stream sharded across `pool`, split into (RA, DP)
+    /// series. Identical output to [`Akamai::observe_all`]: per-attack
+    /// draws fork from (attack id, "akamai-prolexic") and shards merge
+    /// in input order before the class split.
+    pub fn observe_all_on(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+        pool: &simcore::ExecPool,
+    ) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
+        split_by_class(pool.par_filter_map(attacks, |a| self.observe(a, root)))
+    }
+}
+
+fn split_by_class(
+    tagged: Vec<(AttackClass, ObservedAttack)>,
+) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
+    let mut ra = Vec::new();
+    let mut dp = Vec::new();
+    for (class, o) in tagged {
+        if class.is_reflection() {
+            ra.push(o);
+        } else {
+            dp.push(o);
+        }
+    }
+    (ra, dp)
 }
 
 #[cfg(test)]

@@ -139,18 +139,40 @@ impl IxpBlackholing {
         attacks: &[Attack],
         root: &SimRng,
     ) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
-        let mut ra = Vec::new();
-        let mut dp = Vec::new();
-        for a in attacks {
-            if let Some((det, o)) = self.observe(a, root) {
-                match det {
-                    IxpDetection::ReflectionAmplification => ra.push(o),
-                    IxpDetection::DirectPath => dp.push(o),
-                }
-            }
-        }
-        (ra, dp)
+        split_detections(
+            attacks
+                .iter()
+                .filter_map(|a| self.observe(a, root))
+                .collect(),
+        )
     }
+
+    /// Observe a stream sharded across `pool`, returning the two series
+    /// separately. Identical output to [`IxpBlackholing::observe_all`]:
+    /// per-attack draws fork from (attack id, "ixp-blackholing") and
+    /// shards merge in input order before the class split.
+    pub fn observe_all_on(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+        pool: &simcore::ExecPool,
+    ) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
+        split_detections(pool.par_filter_map(attacks, |a| self.observe(a, root)))
+    }
+}
+
+fn split_detections(
+    tagged: Vec<(IxpDetection, ObservedAttack)>,
+) -> (Vec<ObservedAttack>, Vec<ObservedAttack>) {
+    let mut ra = Vec::new();
+    let mut dp = Vec::new();
+    for (det, o) in tagged {
+        match det {
+            IxpDetection::ReflectionAmplification => ra.push(o),
+            IxpDetection::DirectPath => dp.push(o),
+        }
+    }
+    (ra, dp)
 }
 
 /// Packet-level classification of one blackholed traffic aggregate

@@ -128,6 +128,18 @@ impl Netscout {
             .collect()
     }
 
+    /// Observe a stream sharded across `pool`. Identical output to
+    /// [`Netscout::observe_all`]: per-attack draws fork from (attack id,
+    /// "netscout-atlas") and shards merge in input order.
+    pub fn observe_all_on(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+        pool: &simcore::ExecPool,
+    ) -> Vec<NetscoutAlert> {
+        pool.par_filter_map(attacks, |a| self.observe(a, root))
+    }
+
     /// Draw the shared research baseline: ≈ `baseline_fraction` of all
     /// alerts, sampled deterministically per alert.
     pub fn baseline_sample<'a>(

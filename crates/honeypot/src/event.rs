@@ -107,6 +107,18 @@ impl Honeypot {
             .filter_map(|a| self.observe(a, root))
             .collect()
     }
+
+    /// Observe a whole attack stream, sharded across `pool`. Identical
+    /// output to [`Honeypot::observe_all`]: per-attack draws fork from
+    /// (attack id, platform name) and shards merge in input order.
+    pub fn observe_all_on(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+        pool: &simcore::ExecPool,
+    ) -> Vec<ObservedAttack> {
+        pool.par_filter_map(attacks, |a| self.observe(a, root))
+    }
 }
 
 #[cfg(test)]

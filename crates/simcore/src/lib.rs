@@ -8,12 +8,16 @@
 //! * [`time`] — the study calendar (2019-01-01 … 2023-06-30), day/week/
 //!   quarter bucketing exactly as the paper aggregates (§5);
 //! * [`dist`] — the statistical distributions behind attack arrivals,
-//!   sizes, durations and observatory visibility sampling.
+//!   sizes, durations and observatory visibility sampling;
+//! * [`pool`] — the deterministic sharded execution pool that fans the
+//!   study out across workers without perturbing any RNG stream.
 
 pub mod dist;
+pub mod pool;
 pub mod rng;
 pub mod time;
 
 pub use dist::Zipf;
+pub use pool::ExecPool;
 pub use rng::SimRng;
 pub use time::{Date, SimTime, BASELINE_WEEKS, STUDY_DAYS, STUDY_END, STUDY_START, STUDY_WEEKS};

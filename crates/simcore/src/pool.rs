@@ -1,0 +1,201 @@
+//! Deterministic sharded execution pool.
+//!
+//! The whole study pipeline is embarrassingly parallel *as long as* no
+//! worker ever touches shared RNG state: every stochastic component
+//! forks its `SimRng` from immutable inputs (attack id, observatory
+//! name, week index) before work is distributed. `ExecPool` exploits
+//! that by splitting an input slice into index-tagged shards, letting
+//! workers claim shards in whatever order the scheduler likes, and then
+//! merging results back **in shard order** — so the output is bitwise
+//! identical for 1, 2, or N workers.
+//!
+//! The pool is intentionally stateless (no resident worker threads):
+//! each call opens a `std::thread::scope`, which makes it trivially
+//! reentrant — a sweep thread can run a nested study fan-out on the
+//! same pool handle without deadlock. Crossbeam/rayon would provide a
+//! persistent work-stealing pool, but those crates are unavailable in
+//! the offline build; scoped std threads cost one spawn per worker per
+//! call, which is noise next to the millisecond-scale shards we feed
+//! them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "DDOSCOVERY_WORKERS";
+
+/// A stateless fork-join pool with a fixed worker budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecPool {
+    workers: usize,
+}
+
+impl ExecPool {
+    /// A pool with exactly `workers` workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> ExecPool {
+        ExecPool { workers: workers.max(1) }
+    }
+
+    /// A single-threaded pool: every combinator degenerates to a plain
+    /// serial loop.
+    pub fn serial() -> ExecPool {
+        ExecPool::new(1)
+    }
+
+    /// The process-wide default pool: worker count from
+    /// [`WORKERS_ENV`] if set, otherwise `available_parallelism`.
+    pub fn global() -> ExecPool {
+        static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
+        *GLOBAL.get_or_init(|| ExecPool::new(default_workers()))
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Split `items` into contiguous shards of `chunk_size`, apply
+    /// `f(shard_index, shard)` across workers, and return the results
+    /// **in shard order** — the defining determinism guarantee: the
+    /// output is a pure function of `(items, chunk_size, f)`, never of
+    /// the worker count or scheduling order.
+    pub fn par_chunks_indexed<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        if self.workers == 1 || chunks.len() <= 1 {
+            return chunks.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let threads = self.workers.min(chunks.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Batch each worker's results locally; one lock
+                    // acquisition per worker, not per shard.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(idx) else { break };
+                        local.push((idx, f(idx, chunk)));
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+
+        let mut tagged = collected.into_inner().unwrap();
+        tagged.sort_unstable_by_key(|(idx, _)| *idx);
+        debug_assert_eq!(tagged.len(), chunks.len());
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Filter-map over `items` in parallel, preserving input order.
+    /// `chunk_size` is derived so each worker gets a handful of shards
+    /// (dynamic claiming smooths uneven per-item cost).
+    pub fn par_filter_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Option<R> + Sync,
+    {
+        let chunk = shard_size(items.len(), self.workers);
+        let shards = self.par_chunks_indexed(items, chunk, |_, shard| {
+            shard.iter().filter_map(&f).collect::<Vec<R>>()
+        });
+        shards.into_iter().flatten().collect()
+    }
+
+    /// Run `f(0..n)` across workers, returning results in index order.
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        let out = self.par_chunks_indexed(&indices, 1, |_, shard| f(shard[0]));
+        out
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::global()
+    }
+}
+
+/// A shard size that gives each worker ~4 shards to claim, bounded so
+/// tiny inputs still produce at least one shard.
+pub fn shard_size(len: usize, workers: usize) -> usize {
+    (len / (workers.max(1) * 4)).max(1)
+}
+
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_results_in_shard_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = ExecPool::serial().par_chunks_indexed(&items, 7, |i, c| (i, c.to_vec()));
+        for workers in [2, 3, 8] {
+            let par = ExecPool::new(workers).par_chunks_indexed(&items, 7, |i, c| (i, c.to_vec()));
+            assert_eq!(serial, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let items: Vec<u32> = (0..5000).collect();
+        let keep_odd = |x: &u32| (x % 2 == 1).then_some(*x * 10);
+        let serial = ExecPool::serial().par_filter_map(&items, keep_odd);
+        let par = ExecPool::new(4).par_filter_map(&items, keep_odd);
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 2500);
+        assert!(serial.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn run_indexed_in_order() {
+        let serial = ExecPool::serial().run_indexed(64, |i| i * i);
+        let par = ExecPool::new(5).run_indexed(64, |i| i * i);
+        assert_eq!(serial, par);
+        assert_eq!(par[10], 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out = ExecPool::new(4).par_chunks_indexed(&empty, 8, |_, c| c.len());
+        assert!(out.is_empty());
+        let out = ExecPool::new(4).par_filter_map(&empty, |x: &u8| Some(*x));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reentrant_nested_use_does_not_deadlock() {
+        let pool = ExecPool::new(2);
+        let outer = pool.run_indexed(4, |i| {
+            let inner = pool.run_indexed(8, |j| i * 100 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(outer.len(), 4);
+        assert_eq!(outer[0], (0..8).sum::<usize>());
+    }
+}

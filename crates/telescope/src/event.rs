@@ -111,6 +111,19 @@ impl Telescope {
             .filter_map(|a| self.observe(a, root))
             .collect()
     }
+
+    /// Observe a whole attack stream, sharded across `pool`. Per-attack
+    /// verdicts fork from (attack id, telescope name), so shard
+    /// boundaries cannot perturb them; the pool merges shards in input
+    /// order, making the result identical to [`Telescope::observe_all`].
+    pub fn observe_all_on(
+        &self,
+        attacks: &[Attack],
+        root: &SimRng,
+        pool: &simcore::ExecPool,
+    ) -> Vec<ObservedAttack> {
+        pool.par_filter_map(attacks, |a| self.observe(a, root))
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ fn main() {
     }
     // Upset over academic four
     let sets: Vec<(String, Vec<analytics::TargetTuple>)> = ObsId::ACADEMIC.iter()
-        .map(|&id| (id.name().to_string(), run.target_tuples(id))).collect();
+        .map(|&id| (id.name().to_string(), run.target_tuples(id).to_vec())).collect();
     let u = analytics::upset(&sets);
     println!("total distinct tuples {}, ips {}", u.total_distinct, u.distinct_ips);
     for (i, n) in u.names.iter().enumerate() {

@@ -24,7 +24,7 @@ fn main() {
     // no raw traffic (the §4 data-sharing compromise).
     let academic: Vec<(String, Vec<TargetTuple>)> = ObsId::ACADEMIC
         .iter()
-        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .map(|&id| (id.name().to_string(), run.target_tuples(id).to_vec()))
         .collect();
     let total: usize = {
         let mut all: Vec<TargetTuple> = academic.iter().flat_map(|(_, t)| t.clone()).collect();
@@ -39,7 +39,7 @@ fn main() {
 
     // --- Step 2: each industry partner joins locally. --------------------
     for (partner, industry_tuples) in [
-        ("Netscout (baseline sample)", run.netscout_baseline_tuples()),
+        ("Netscout (baseline sample)", run.netscout_baseline_tuples().to_vec()),
         ("Akamai (announced prefixes)", run.akamai_tuples()),
     ] {
         let c = confirmation_shares(&academic, &industry_tuples);

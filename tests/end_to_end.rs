@@ -14,7 +14,7 @@ fn run() -> &'static StudyRun {
 fn academic_sets() -> Vec<(String, Vec<TargetTuple>)> {
     ObsId::ACADEMIC
         .iter()
-        .map(|&id| (id.name().to_string(), run().target_tuples(id)))
+        .map(|&id| (id.name().to_string(), run().target_tuples(id).to_vec()))
         .collect()
 }
 

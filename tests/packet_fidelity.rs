@@ -18,7 +18,7 @@ fn plan_and_attacks() -> (InternetPlan, Vec<attackgen::Attack>) {
     cfg.random_campaign_count = 0;
     cfg.campaign_rate_scale = 0.0;
     let root = SimRng::new(7);
-    let mut gen = AttackGenerator::new(&plan, cfg, &root);
+    let gen = AttackGenerator::new(&plan, cfg, &root);
     let mut attacks = Vec::new();
     // Two months of attacks are plenty for fidelity checks.
     for week in 0..9 {

@@ -49,7 +49,7 @@ fn paper_scale_headline_numbers() {
     // Fig. 7 / §7 structure.
     let sets: Vec<(String, Vec<TargetTuple>)> = ObsId::ACADEMIC
         .iter()
-        .map(|&id| (id.name().to_string(), run.target_tuples(id)))
+        .map(|&id| (id.name().to_string(), run.target_tuples(id).to_vec()))
         .collect();
     let u = upset(&sets);
     let idx = |name: &str| u.names.iter().position(|n| n == name).unwrap();

@@ -1,0 +1,63 @@
+//! Source lint wired into the test suite (mirrors `tools/lint.sh`):
+//! no wall-clock or OS-entropy primitives anywhere in simulation code.
+//! Every stochastic draw must fork from the study seed and every
+//! timestamp must be SimTime, or runs stop being bitwise reproducible.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_nondeterminism_primitives_in_simulation_code() {
+    // Built by concatenation so this file passes its own scan.
+    let forbidden: Vec<String> = vec![
+        ["thread_", "rng"].concat(),
+        ["System", "Time"].concat(),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "examples", "tests"] {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    assert!(
+        files.len() > 50,
+        "lint scanned only {} files — directory layout changed?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else { continue };
+        for (lineno, line) in text.lines().enumerate() {
+            for pat in &forbidden {
+                if line.contains(pat.as_str()) {
+                    violations.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(root).unwrap_or(file).display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "forbidden nondeterminism primitives:\n{}",
+        violations.join("\n")
+    );
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo lint: forbid wall-clock and OS-entropy primitives in simulation
+# code. The reproducibility contract (DESIGN.md §4) requires every
+# stochastic draw to fork from the study seed and every timestamp to be
+# SimTime — `thread_rng` or `SystemTime` anywhere in a crate breaks
+# bitwise determinism across runs and worker counts.
+#
+# Test code is held to the same bar: the crates' #[cfg(test)] modules
+# live inside crates/, and the workspace-level tests/ directory is
+# scanned too. Only vendor/ (third-party stand-ins) is exempt.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern='thread_rng|SystemTime'
+if grep -rnE "$pattern" crates src examples tests --include='*.rs' 2>/dev/null; then
+    echo "lint: forbidden nondeterminism primitive (pattern: $pattern)" >&2
+    exit 1
+fi
+echo "lint: ok (no thread_rng / SystemTime in simulation code)"

@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Keeps the same authoring surface (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`) but replaces the
+//! statistical machinery with a simple median-of-samples wall-clock
+//! report. Each `bench_function` runs a short warm-up, then `sample_size`
+//! timed batches, and prints the per-iteration median plus throughput
+//! when configured. Good enough to compare before/after on the same
+//! machine; not a substitute for upstream's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+
+        // Warm-up: one batch, also used to size the timed batches.
+        f(&mut bencher);
+        let per_iter_estimate = if bencher.iters > 0 {
+            bencher.elapsed.as_secs_f64() / bencher.iters as f64
+        } else {
+            0.0
+        };
+        // Aim for ~20ms per sample, at least one iteration.
+        let iters_per_sample = if per_iter_estimate > 0.0 {
+            ((0.02 / per_iter_estimate) as u64).clamp(1, 1_000_000)
+        } else {
+            1
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            for _ in 0..iters_per_sample {
+                f(&mut bencher);
+            }
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+
+        let mut line = format!(
+            "{}/{:<32} time: {:>12}",
+            self.name,
+            id,
+            format_duration(median)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                line.push_str(&format!("   thrpt: {:>14.0} elem/s", n as f64 / median));
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                line.push_str(&format!("   thrpt: {:>14.0} B/s", n as f64 / median));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`, accumulating into the current sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it
+/// from criterion rather than std.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert*`/`prop_assume`, range and `any::<T>()` strategies,
+//! tuple composition, `prop_map`, and `collection::{vec, hash_set}`.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (derived from the test name) so every run is identical, and
+//! there is **no shrinking** — a failing case panics with the plain
+//! assertion message. That trades debugging convenience for zero
+//! dependencies, which is what an offline build can afford.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test deterministic RNG (SplitMix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+// ---- integer / float ranges ----------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Occasionally emit the endpoints: boundary bugs hide there.
+                match rng.below(16) {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                match rng.below(16) {
+                    0 => lo,
+                    1 => hi,
+                    _ => {
+                        let span = (hi as i128 - lo as i128) as u64;
+                        if span == u64::MAX {
+                            rng.next_u64() as $t
+                        } else {
+                            (lo as i128 + rng.below(span + 1) as i128) as $t
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + (hi - lo) * rng.unit_f64()) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                match rng.below(16) {
+                    0 => lo as $t,
+                    1 => hi as $t,
+                    _ => (lo + (hi - lo) * rng.unit_f64()) as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+// ---- any::<T>() -----------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait ArbitrarySample {
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arb(rng: &mut TestRng) -> $t {
+                match rng.below(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arb(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arb(rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, wide dynamic range.
+        let mag = (rng.unit_f64() * 40.0 - 20.0).exp2();
+        if rng.below(2) == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Boolean strategies (upstream `proptest::bool`).
+pub mod bool {
+    /// Uniform `true`/`false`.
+    pub const ANY: super::Any<bool> = super::Any(std::marker::PhantomData);
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(pub PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// The default full-domain strategy for `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- tuples ---------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+// ---- collections ----------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Inclusive-lo, exclusive-hi size bounds.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let want = self.size.lo + rng.below(span.max(1)) as usize;
+            let mut out = HashSet::with_capacity(want);
+            // Duplicates shrink the set below the floor; retry a bounded
+            // number of times to reach it.
+            for _ in 0..want.saturating_mul(64).max(64) {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+// ---- macros ---------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                    let mut __one_case = || -> ::core::result::Result<(), ()> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let _ = __one_case();
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ArbitrarySample, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0u8..=32, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 32);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map(p in (any::<u32>(), 0u8..=7).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(p.1 <= 7);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n > 3);
+            prop_assert!(n > 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn vec_sizes(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn set_floor(s in collection::hash_set(0u32..1000, 2..6)) {
+            prop_assert!(s.len() >= 2 && s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
