@@ -1,4 +1,4 @@
-.PHONY: build test lint bench
+.PHONY: build test lint bench telemetry
 
 build:
 	cargo build --release
@@ -13,3 +13,11 @@ lint:
 
 bench:
 	cargo bench --workspace
+
+# Quick-scale instrumented run: emits telemetry.json (run manifest with
+# per-stage latency histograms, per-observatory counts, and pool
+# utilization) plus a human-readable summary table on stderr.
+telemetry:
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		trends --quick --telemetry telemetry.json
+	@cat telemetry.json

@@ -148,15 +148,23 @@ impl<'a> AttackGenerator<'a> {
     /// `(start, id)`, both reproducible, so the full output is bitwise
     /// identical for 1, 2, or N workers.
     pub fn generate_study_on(&self, pool: &ExecPool) -> Vec<Attack> {
+        let _span = obs::span!("generate");
+        let per_week = obs::metrics::histogram("gen.attacks_per_week", &obs::metrics::COUNTS);
+        let forks = obs::metrics::counter("gen.rng_forks");
         let weeks: Vec<i64> = (0..STUDY_WEEKS as i64).collect();
         let chunk = simcore::pool::shard_size(weeks.len(), pool.workers());
         let shards = pool.par_chunks_indexed(&weeks, chunk, |_, shard| {
             let mut out = Vec::new();
             for &week in shard {
+                // Each week forks exactly one stream off `week_root`.
+                forks.inc();
+                let before = out.len();
                 self.generate_week(week, &mut out);
+                per_week.record((out.len() - before) as u64);
             }
             out
         });
+        obs::metrics::counter("gen.weeks").add(weeks.len() as u64);
         let mut out: Vec<Attack> = Vec::with_capacity(shards.iter().map(Vec::len).sum());
         for shard in shards {
             let base = out.len() as u64;
@@ -166,6 +174,7 @@ impl<'a> AttackGenerator<'a> {
             }));
         }
         out.sort_by_key(|a| (a.start, a.id));
+        obs::metrics::counter("gen.attacks").add(out.len() as u64);
         out
     }
 

@@ -6,6 +6,12 @@
 //! ddoscovery config                       # dump the study config JSON
 //! ddoscovery trends [--quick] [--seed N]  # one-screen Table-1 summary
 //! ```
+//!
+//! Stream discipline: stdout carries machine-readable experiment
+//! output only; every status line goes to stderr through the `obs`
+//! logger (`DDOSCOVERY_LOG=error|warn|info|debug`). `--telemetry PATH`
+//! (or `DDOSCOVERY_TELEMETRY=PATH`) additionally writes a JSON run
+//! manifest and prints its summary table on stderr.
 
 use ddoscovery::{all_ids, run_experiment, ObsId, StudyConfig, StudyRun};
 use std::fs;
@@ -13,7 +19,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
+    obs::log::raw_stderr(
         "usage: ddoscovery <command> [options]\n\n\
          commands:\n\
          \u{20}  list                         list experiment ids\n\
@@ -21,17 +27,26 @@ fn usage() -> ExitCode {
          \u{20}  trends [opts]                print the Table-1 trend summary\n\
          \u{20}  config                       print the default study config as JSON\n\n\
          options:\n\
-         \u{20}  --quick        scaled-down study (~1/8 volume)\n\
-         \u{20}  --seed N       master seed (default 0xDD05C0DE)\n\
-         \u{20}  --out DIR      CSV output directory (default: results)"
+         \u{20}  --quick            scaled-down study (~1/8 volume)\n\
+         \u{20}  --seed N           master seed (default 0xDD05C0DE)\n\
+         \u{20}  --out DIR          CSV output directory (default: results)\n\
+         \u{20}  --workers N        execution-pool worker count (wins over\n\
+         \u{20}                     DDOSCOVERY_WORKERS; output is identical\n\
+         \u{20}                     for every setting)\n\
+         \u{20}  --telemetry PATH   write a JSON run manifest to PATH and\n\
+         \u{20}                     print a summary table on stderr (env:\n\
+         \u{20}                     DDOSCOVERY_TELEMETRY)",
     );
     ExitCode::from(2)
 }
 
+#[derive(Debug, PartialEq)]
 struct Options {
     quick: bool,
     seed: Option<u64>,
     out: String,
+    workers: Option<usize>,
+    telemetry: Option<String>,
     ids: Vec<String>,
 }
 
@@ -40,6 +55,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         quick: false,
         seed: None,
         out: "results".into(),
+        workers: None,
+        telemetry: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -56,10 +73,30 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--out" => opts.out = it.next().ok_or("--out needs a value")?.clone(),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                opts.workers = Some(n);
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(it.next().ok_or("--telemetry needs a value")?.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
             id => opts.ids.push(id.to_string()),
+        }
+    }
+    // The flag wins over the environment; the env var still applies
+    // when the flag is absent.
+    if opts.telemetry.is_none() {
+        if let Ok(path) = std::env::var(obs::manifest::TELEMETRY_ENV) {
+            if !path.trim().is_empty() {
+                opts.telemetry = Some(path);
+            }
         }
     }
     Ok(opts)
@@ -74,7 +111,40 @@ fn build_config(opts: &Options) -> StudyConfig {
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
     }
+    // A pinned worker count bypasses the DDOSCOVERY_WORKERS default in
+    // `ExecPool::global`, so the flag wins over the env var.
+    if opts.workers.is_some() {
+        cfg.workers = opts.workers;
+    }
     cfg
+}
+
+/// Scenario label recorded in run manifests.
+fn scenario_label(opts: &Options) -> &'static str {
+    match (opts.quick, opts.seed.is_some()) {
+        (true, false) => "quick",
+        (false, false) => "paper",
+        (true, true) => "quick-reseeded",
+        (false, true) => "paper-reseeded",
+    }
+}
+
+/// Write the run manifest (if requested) and print its summary table.
+fn emit_telemetry(opts: &Options, cfg: &StudyConfig) -> Result<(), String> {
+    let Some(path) = &opts.telemetry else {
+        return Ok(());
+    };
+    let config_json = serde_json::to_string(cfg).map_err(|e| e.to_string())?;
+    let manifest = obs::manifest::RunManifest::capture(obs::manifest::RunInfo {
+        scenario: scenario_label(opts).to_string(),
+        seed: cfg.seed,
+        workers: cfg.workers,
+        config_hash: obs::manifest::fnv1a(config_json.as_bytes()),
+    });
+    fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    obs::log::raw_stderr(manifest.summary_table().trim_end());
+    obs::info!("telemetry manifest written to {path}");
+    Ok(())
 }
 
 fn cmd_list() -> ExitCode {
@@ -93,7 +163,7 @@ fn cmd_config() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("serialization failed: {e}");
+            obs::error!("serialization failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -107,46 +177,57 @@ fn cmd_run(opts: &Options) -> ExitCode {
     };
     for id in &wanted {
         if !all_ids().contains(id) {
-            eprintln!("unknown experiment {id:?}; known: {:?}", all_ids());
+            obs::error!("unknown experiment {id:?}; known: {:?}", all_ids());
             return ExitCode::from(2);
         }
     }
     let cfg = build_config(opts);
-    eprintln!(
-        "running {} study (seed {:#x}) ...",
-        if opts.quick { "quick" } else { "paper-scale" },
-        cfg.seed
+    obs::info!(
+        "running {} study (seed {:#x}, workers {}) ...",
+        scenario_label(opts),
+        cfg.seed,
+        cfg.workers.map(|w| w.to_string()).unwrap_or_else(|| "default".into()),
     );
-    let started = std::time::Instant::now();
+    let run_span = obs::span!("run");
+    let watch = obs::Stopwatch::start();
     let run = StudyRun::execute(&cfg);
-    eprintln!(
-        "{} attacks observed in {:.1?}",
+    obs::info!(
+        "{} attacks observed in {:.1}s",
         run.attacks.len(),
-        started.elapsed()
+        watch.elapsed_ns() as f64 / 1e9
     );
     let out_dir = Path::new(&opts.out);
     if let Err(e) = fs::create_dir_all(out_dir) {
-        eprintln!("cannot create {}: {e}", out_dir.display());
+        obs::error!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
+    let analyze_span = obs::span!("analyze");
     for id in wanted {
         let result = run_experiment(&run, id).expect("validated id");
         println!("== [{}] {} ==\n{}", result.id, result.title, result.body);
         for (name, contents) in &result.csv {
             let path = out_dir.join(name);
             if let Err(e) = fs::write(&path, contents) {
-                eprintln!("cannot write {}: {e}", path.display());
+                obs::error!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
-            println!("  -> {}", path.display());
+            obs::info!("wrote {}", path.display());
         }
+    }
+    drop(analyze_span);
+    drop(run_span);
+    if let Err(e) = emit_telemetry(opts, &cfg) {
+        obs::error!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
 fn cmd_trends(opts: &Options) -> ExitCode {
     let cfg = build_config(opts);
+    let run_span = obs::span!("run");
     let run = StudyRun::execute(&cfg);
+    let project_span = obs::span!("project");
     println!("{:16} {:>8}  type  trend", "observatory", "attacks");
     for id in ObsId::MAIN_TEN {
         let s = run.normalized_series(id);
@@ -157,6 +238,12 @@ fn cmd_trends(opts: &Options) -> ExitCode {
             if id.is_direct_path() { "DP" } else { "RA" },
             s.trend().symbol()
         );
+    }
+    drop(project_span);
+    drop(run_span);
+    if let Err(e) = emit_telemetry(opts, &cfg) {
+        obs::error!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -170,7 +257,7 @@ fn main() -> ExitCode {
     let opts = match parse_options(rest) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("{e}");
+            obs::error!("{e}");
             return usage();
         }
     };
@@ -180,5 +267,54 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "trends" => cmd_trends(&opts),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn workers_flag_parses_and_rejects_zero() {
+        let opts = parse(&["--quick", "--workers", "3"]).unwrap();
+        assert_eq!(opts.workers, Some(3));
+        assert!(parse(&["--workers", "0"]).is_err());
+        assert!(parse(&["--workers", "lots"]).is_err());
+        assert!(parse(&["--workers"]).is_err());
+    }
+
+    #[test]
+    fn workers_flag_wins_over_env_default() {
+        // The config only consults DDOSCOVERY_WORKERS when `workers`
+        // is None, so a parsed flag short-circuits the env var.
+        let opts = parse(&["--workers", "2"]).unwrap();
+        let cfg = build_config(&opts);
+        assert_eq!(cfg.workers, Some(2));
+        let opts = parse(&[]).unwrap();
+        let cfg = build_config(&opts);
+        assert_eq!(cfg.workers, None);
+    }
+
+    #[test]
+    fn telemetry_flag_parses() {
+        let opts = parse(&["--telemetry", "m.json", "t1"]).unwrap();
+        assert_eq!(opts.telemetry.as_deref(), Some("m.json"));
+        assert_eq!(opts.ids, ["t1"]);
+        assert!(parse(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn scenario_labels() {
+        let mut opts = parse(&["--quick"]).unwrap();
+        assert_eq!(scenario_label(&opts), "quick");
+        opts.seed = Some(7);
+        assert_eq!(scenario_label(&opts), "quick-reseeded");
+        opts.quick = false;
+        assert_eq!(scenario_label(&opts), "paper-reseeded");
     }
 }

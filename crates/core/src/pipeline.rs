@@ -11,9 +11,9 @@ use attackgen::{
 use flowmon::{split_by_class, Akamai, IxpBlackholing, IxpDetection, Netscout, NetscoutAlert};
 use honeypot::{reconstruct_carpet_attacks, Honeypot};
 use netmodel::InternetPlan;
+use obs::metrics::Counter;
 use serde::{Deserialize, Serialize};
 use simcore::{Date, ExecPool, SimRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use telescope::Telescope;
 
@@ -82,6 +82,23 @@ impl ObsId {
         }
     }
 
+    /// Machine-friendly identifier (metric names, CSV columns).
+    pub const fn slug(self) -> &'static str {
+        match self {
+            ObsId::Orion => "orion",
+            ObsId::Ucsd => "ucsd",
+            ObsId::NetscoutDp => "netscout_dp",
+            ObsId::AkamaiDp => "akamai_dp",
+            ObsId::IxpDp => "ixp_dp",
+            ObsId::Hopscotch => "hopscotch",
+            ObsId::AmpPot => "amppot",
+            ObsId::NetscoutRa => "netscout_ra",
+            ObsId::AkamaiRa => "akamai_ra",
+            ObsId::IxpRa => "ixp_ra",
+            ObsId::NewKid => "newkid",
+        }
+    }
+
     /// Does this series observe direct-path attacks (vs RA)?
     pub const fn is_direct_path(self) -> bool {
         matches!(
@@ -121,30 +138,63 @@ pub struct ProjectionStats {
 /// Lazily-computed per-observatory projections. Every slot is a
 /// `OnceLock`, so concurrent readers (sweep threads, experiment
 /// renderers) each compute a projection at most once per run.
+///
+/// Cache instrumentation uses the `obs` counter primitive throughout:
+/// the per-run counters below back [`StudyRun::projection_stats`], and
+/// every compute/hit is mirrored into the global registry under
+/// `project.<kind>.computed` / `project.<kind>.hit` so run manifests
+/// carry the cache behaviour (registry counters are process-cumulative,
+/// per-run counters reset with each `StudyRun`).
 struct ProjectionCache {
     weekly: [OnceLock<WeeklySeries>; 11],
     normalized: [OnceLock<WeeklySeries>; 11],
     tuples: [OnceLock<Vec<TargetTuple>>; 11],
     baseline: OnceLock<Vec<TargetTuple>>,
-    weekly_computed: AtomicUsize,
-    normalized_computed: AtomicUsize,
-    tuples_computed: AtomicUsize,
-    baseline_computed: AtomicUsize,
+    weekly_computed: Counter,
+    normalized_computed: Counter,
+    tuples_computed: Counter,
+    baseline_computed: Counter,
 }
 
 impl ProjectionCache {
     fn new() -> Self {
+        // Register the registry-side instruments up front so every run
+        // manifest carries the full hit/miss picture, zeros included.
+        for kind in ["weekly", "normalized", "tuples", "baseline"] {
+            obs::metrics::counter(&format!("project.{kind}.hit"));
+            obs::metrics::counter(&format!("project.{kind}.computed"));
+        }
         ProjectionCache {
             weekly: std::array::from_fn(|_| OnceLock::new()),
             normalized: std::array::from_fn(|_| OnceLock::new()),
             tuples: std::array::from_fn(|_| OnceLock::new()),
             baseline: OnceLock::new(),
-            weekly_computed: AtomicUsize::new(0),
-            normalized_computed: AtomicUsize::new(0),
-            tuples_computed: AtomicUsize::new(0),
-            baseline_computed: AtomicUsize::new(0),
+            weekly_computed: Counter::new(),
+            normalized_computed: Counter::new(),
+            tuples_computed: Counter::new(),
+            baseline_computed: Counter::new(),
         }
     }
+}
+
+/// Memoized lookup with cache telemetry: a populated slot counts as a
+/// `project.<kind>.hit`, a compute bumps both the per-run counter and
+/// the registry's `project.<kind>.computed`.
+fn memo<'a, T>(
+    slot: &'a OnceLock<T>,
+    run_counter: &Counter,
+    kind: &str,
+    compute: impl FnOnce() -> T,
+) -> &'a T {
+    if let Some(v) = slot.get() {
+        obs::metrics::counter(&format!("project.{kind}.hit")).inc();
+        return v;
+    }
+    slot.get_or_init(|| {
+        run_counter.inc();
+        obs::metrics::counter(&format!("project.{kind}.computed")).inc();
+        compute()
+    })
 }
 
 /// One unit of observatory work: `(which observatory, which attack
@@ -201,13 +251,21 @@ impl StudyRun {
     /// results in deterministic order. Carpet reconstruction and the
     /// Netscout class split remain ordered post-passes over already-
     /// merged streams.
+    /// Stage spans (`plan`, `generate`, `observe`, `merge`) nest under
+    /// whatever span the caller holds — the CLI wraps each command in
+    /// `obs::span!("run")`, so manifests report `span.run.generate`
+    /// etc.; library callers get top-level stage spans.
     pub fn execute_on(config: &StudyConfig, pool: &ExecPool) -> StudyRun {
         let root = SimRng::new(config.seed);
         let mut plan_rng = root.fork_named("plan");
-        let plan = InternetPlan::build(&config.net, &mut plan_rng);
+        let plan = {
+            let _s = obs::span!("plan");
+            InternetPlan::build(&config.net, &mut plan_rng)
+        };
         let attacks =
             AttackGenerator::new(&plan, config.gen.clone(), &root).generate_study_on(pool);
         let obs_root = root.fork_named("observatories");
+        let observe_span = obs::span!("observe");
 
         let ucsd = Telescope::ucsd(&plan);
         let orion = Telescope::orion(&plan);
@@ -230,7 +288,9 @@ impl StudyRun {
                 (0..n_shards).map(move |shard| ObsTask { observatory, shard })
             })
             .collect();
+        let shard_ns = obs::metrics::histogram("observe.shard_ns", &obs::metrics::LATENCY_NS);
         let outputs = pool.par_chunks_indexed(&tasks, 1, |_, task| {
+            let watch = obs::Stopwatch::start();
             let ObsTask { observatory, shard } = task[0];
             let lo = shard * chunk;
             let hi = (lo + chunk).min(attacks.len());
@@ -238,7 +298,7 @@ impl StudyRun {
             let plain = |obs: &dyn Fn(&Attack) -> Option<ObservedAttack>| {
                 ShardOut::Plain(slice.iter().filter_map(obs).collect())
             };
-            match observatory {
+            let out = match observatory {
                 0 => plain(&|a| ucsd.observe(a, &obs_root)),
                 1 => plain(&|a| orion.observe(a, &obs_root)),
                 2 => plain(&|a| hopscotch.observe(a, &obs_root)),
@@ -256,8 +316,14 @@ impl StudyRun {
                         .filter_map(|a| netscout.observe(a, &obs_root))
                         .collect(),
                 ),
+            };
+            if obs::enabled() {
+                shard_ns.record(watch.elapsed_ns());
             }
+            out
         });
+        drop(observe_span);
+        let _merge_span = obs::span!("merge");
 
         // Merge shard outputs back into one stream per observatory.
         let mut plain_streams: Vec<Vec<ObservedAttack>> = (0..5).map(|_| Vec::new()).collect();
@@ -315,6 +381,14 @@ impl StudyRun {
         observations[ObsId::IxpRa.index()] = ixp_ra;
         observations[ObsId::NewKid.index()] = newkid_obs;
 
+        // Per-observatory kept-observation counts: together with
+        // `gen.attacks` these answer "what did each stage actually do"
+        // in any run's manifest.
+        for id in ObsId::ALL {
+            obs::metrics::counter(&format!("observe.count.{}", id.slug()))
+                .add(observations[id.index()].len() as u64);
+        }
+
         StudyRun {
             config: config.clone(),
             plan,
@@ -335,8 +409,7 @@ impl StudyRun {
     /// Raw weekly attack counts (§5 aggregation), with the paper's
     /// missing-data gaps masked when configured. Memoized per series.
     pub fn weekly_series(&self, id: ObsId) -> &WeeklySeries {
-        self.cache.weekly[id.index()].get_or_init(|| {
-            self.cache.weekly_computed.fetch_add(1, Ordering::Relaxed);
+        memo(&self.cache.weekly[id.index()], &self.cache.weekly_computed, "weekly", || {
             let mut s = WeeklySeries::new(id.name(), weekly_counts(self.observations(id)));
             if self.config.missing_data {
                 match id {
@@ -361,10 +434,12 @@ impl StudyRun {
     /// Normalized weekly series (median of the first 15 present weeks).
     /// Memoized per series.
     pub fn normalized_series(&self, id: ObsId) -> &WeeklySeries {
-        self.cache.normalized[id.index()].get_or_init(|| {
-            self.cache.normalized_computed.fetch_add(1, Ordering::Relaxed);
-            self.weekly_series(id).normalize_to_baseline()
-        })
+        memo(
+            &self.cache.normalized[id.index()],
+            &self.cache.normalized_computed,
+            "normalized",
+            || self.weekly_series(id).normalize_to_baseline(),
+        )
     }
 
     /// All ten main series, normalized, in Fig.-4 order.
@@ -378,10 +453,11 @@ impl StudyRun {
     /// Distinct (day, target IP) tuples of one observatory (§7).
     /// Memoized per series.
     pub fn target_tuples(&self, id: ObsId) -> &[TargetTuple] {
-        self.cache.tuples[id.index()].get_or_init(|| {
-            self.cache.tuples_computed.fetch_add(1, Ordering::Relaxed);
-            distinct_target_tuples(self.observations(id))
-        })
+        let v: &Vec<TargetTuple> =
+            memo(&self.cache.tuples[id.index()], &self.cache.tuples_computed, "tuples", || {
+                distinct_target_tuples(self.observations(id))
+            });
+        v
     }
 
     /// Target tuples of the Netscout §7.2 baseline sample (~28 % of
@@ -389,22 +465,23 @@ impl StudyRun {
     /// observatory RNG root, and borrows the sampled observations
     /// instead of cloning them.
     pub fn netscout_baseline_tuples(&self) -> &[TargetTuple] {
-        self.cache.baseline.get_or_init(|| {
-            self.cache.baseline_computed.fetch_add(1, Ordering::Relaxed);
-            let sample = self
-                .netscout
-                .baseline_sample(&self.netscout_alerts, &self.obs_root);
-            distinct_target_tuples_of(sample.into_iter().map(|al| &al.observation))
-        })
+        let v: &Vec<TargetTuple> =
+            memo(&self.cache.baseline, &self.cache.baseline_computed, "baseline", || {
+                let sample = self
+                    .netscout
+                    .baseline_sample(&self.netscout_alerts, &self.obs_root);
+                distinct_target_tuples_of(sample.into_iter().map(|al| &al.observation))
+            });
+        v
     }
 
     /// Counts of projection computations so far (cache instrumentation).
     pub fn projection_stats(&self) -> ProjectionStats {
         ProjectionStats {
-            weekly_computed: self.cache.weekly_computed.load(Ordering::Relaxed),
-            normalized_computed: self.cache.normalized_computed.load(Ordering::Relaxed),
-            tuples_computed: self.cache.tuples_computed.load(Ordering::Relaxed),
-            baseline_computed: self.cache.baseline_computed.load(Ordering::Relaxed),
+            weekly_computed: self.cache.weekly_computed.get() as usize,
+            normalized_computed: self.cache.normalized_computed.get() as usize,
+            tuples_computed: self.cache.tuples_computed.get() as usize,
+            baseline_computed: self.cache.baseline_computed.get() as usize,
         }
     }
 

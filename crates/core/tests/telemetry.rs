@@ -1,0 +1,103 @@
+//! The telemetry layer's non-negotiable invariant: metrics, spans, and
+//! manifests are a pure side channel. Study output must be
+//! byte-identical with telemetry enabled, disabled, and at any worker
+//! count.
+
+use ddoscovery::{ObsId, StudyConfig, StudyRun};
+
+/// Every projection the paper consumes, flattened to bytes: all eleven
+/// weekly series (raw and normalized, NaN masks included via bit
+/// patterns), all eleven target-tuple sets, and the §7.2 baseline
+/// samples.
+fn output_fingerprint(run: &StudyRun) -> Vec<u8> {
+    let mut out = Vec::new();
+    for id in ObsId::ALL {
+        out.extend(id.slug().as_bytes());
+        let weekly = run.weekly_series(id);
+        out.extend(weekly.name.as_bytes());
+        for v in &weekly.values {
+            out.extend(v.to_bits().to_le_bytes());
+        }
+        for v in &run.normalized_series(id).values {
+            out.extend(v.to_bits().to_le_bytes());
+        }
+        for &(day, ip) in run.target_tuples(id) {
+            out.extend(day.to_le_bytes());
+            out.extend(ip.0.to_le_bytes());
+        }
+    }
+    for &(day, ip) in run.netscout_baseline_tuples() {
+        out.extend(day.to_le_bytes());
+        out.extend(ip.0.to_le_bytes());
+    }
+    for (day, ip) in run.akamai_tuples() {
+        out.extend(day.to_le_bytes());
+        out.extend(ip.0.to_le_bytes());
+    }
+    out
+}
+
+#[test]
+fn output_is_byte_identical_across_telemetry_state_and_worker_counts() {
+    let mut cfg = StudyConfig::quick();
+    cfg.workers = Some(1);
+
+    obs::set_enabled(true);
+    let baseline = output_fingerprint(&StudyRun::execute(&cfg));
+    assert!(!baseline.is_empty());
+
+    // Telemetry off: same bytes.
+    obs::set_enabled(false);
+    let disabled = output_fingerprint(&StudyRun::execute(&cfg));
+    obs::set_enabled(true);
+    assert!(disabled == baseline, "telemetry off changed study output");
+
+    // Telemetry on, different worker counts: same bytes.
+    for workers in [2, 5] {
+        cfg.workers = Some(workers);
+        let par = output_fingerprint(&StudyRun::execute(&cfg));
+        assert!(
+            par == baseline,
+            "study output diverged at {workers} workers with telemetry on"
+        );
+    }
+}
+
+#[test]
+fn run_populates_registry_counters() {
+    // Executing a study must leave per-observatory counts and
+    // generation tallies in the global registry (cumulative across the
+    // process, so only lower bounds are asserted here; exact per-run
+    // values are covered by the CLI manifest test in its own process).
+    let before = obs::metrics::counter("gen.attacks").get();
+    let run = StudyRun::execute(&StudyConfig::quick());
+    let after = obs::metrics::counter("gen.attacks").get();
+    assert!(
+        after >= before + run.attacks.len() as u64,
+        "gen.attacks did not advance by the generated volume"
+    );
+    for id in ObsId::ALL {
+        let c = obs::metrics::counter(&format!("observe.count.{}", id.slug()));
+        assert!(
+            c.get() >= run.observations(id).len() as u64,
+            "observe.count.{} below this run's stream length",
+            id.slug()
+        );
+    }
+}
+
+#[test]
+fn projection_cache_hits_feed_the_registry() {
+    let hits = obs::metrics::counter("project.weekly.hit");
+    let run = StudyRun::execute(&StudyConfig::quick());
+    let _ = run.weekly_series(ObsId::Ucsd);
+    let before = hits.get();
+    let _ = run.weekly_series(ObsId::Ucsd);
+    let _ = run.weekly_series(ObsId::Ucsd);
+    assert!(
+        hits.get() >= before + 2,
+        "memoized re-reads must count as registry cache hits"
+    );
+    // The per-run view stays in step: one compute, however many reads.
+    assert_eq!(run.projection_stats().weekly_computed, 1);
+}

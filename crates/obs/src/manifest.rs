@@ -1,0 +1,280 @@
+//! Run manifests: one JSON document that says what a pipeline run
+//! actually did — every counter, gauge, and latency histogram in the
+//! registry, plus a fingerprint of the configuration that produced it.
+//!
+//! Counters and gauges derived from simulation state (observation
+//! counts, cache hits, tasks dispatched) are deterministic in the
+//! study seed; span and busy-time histograms are wall-clock and vary
+//! run to run. Consumers that diff manifests should compare the former
+//! exactly and the latter only as magnitudes.
+
+use crate::metrics::{self, HistogramSnapshot, MetricsSnapshot};
+use serde::{Serialize, Value};
+
+/// Environment variable naming a manifest output path (the CLI's
+/// `--telemetry` flag wins over it).
+pub const TELEMETRY_ENV: &str = "DDOSCOVERY_TELEMETRY";
+
+/// Schema version of the manifest JSON document.
+pub const SCHEMA: u64 = 1;
+
+/// Identity of the run: everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// Scenario label (`quick`, `paper`, `custom`, …).
+    pub scenario: String,
+    /// Master seed of the study.
+    pub seed: u64,
+    /// Explicit worker count, if one was pinned (flag or config).
+    pub workers: Option<usize>,
+    /// FNV-1a hash of the full serialized `StudyConfig` — a cheap
+    /// git-describe-style fingerprint that changes whenever any knob
+    /// does.
+    pub config_hash: u64,
+}
+
+/// A complete run manifest.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    pub schema: u64,
+    /// Package version plus a describe-style build string.
+    pub version: String,
+    pub describe: String,
+    pub run: RunInfo,
+    pub metrics: MetricsSnapshot,
+}
+
+/// FNV-1a over arbitrary bytes; used for config fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl RunManifest {
+    /// Snapshot the global registry under the given run identity.
+    pub fn capture(run: RunInfo) -> RunManifest {
+        let version = env!("CARGO_PKG_VERSION").to_string();
+        let describe = option_env!("DDOSCOVERY_BUILD_DESCRIBE")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("v{}-offline-{:08x}", version, run.config_hash as u32));
+        RunManifest {
+            schema: SCHEMA,
+            version,
+            describe,
+            run,
+            metrics: metrics::global().snapshot(),
+        }
+    }
+
+    /// The manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// A human-readable summary table (for stderr): top-level stage
+    /// latencies, per-observatory counts, pool utilization, and cache
+    /// behaviour.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== telemetry: {} run, seed {:#x}, workers {}, config {:016x} ==\n",
+            self.run.scenario,
+            self.run.seed,
+            self.run
+                .workers
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "default".into()),
+            self.run.config_hash,
+        ));
+        if !self.metrics.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>10} {:>10} {:>10}\n",
+                "stage / histogram", "samples", "~p50", "~p95", "mean"
+            ));
+            for (name, h) in &self.metrics.histograms {
+                let mean = if h.count > 0 { h.sum / h.count } else { 0 };
+                out.push_str(&format!(
+                    "{:<34} {:>8} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count,
+                    fmt_mag(name, quantile(h, 0.50)),
+                    fmt_mag(name, quantile(h, 0.95)),
+                    fmt_mag(name, Some(mean)),
+                ));
+            }
+        }
+        if !self.metrics.counters.is_empty() {
+            out.push_str(&format!("{:<34} {:>12}\n", "counter", "value"));
+            for (name, v) in &self.metrics.counters {
+                out.push_str(&format!("{name:<34} {v:>12}\n"));
+            }
+        }
+        for (name, v) in &self.metrics.gauges {
+            out.push_str(&format!("{name:<34} {v:>12.3}\n"));
+        }
+        out
+    }
+}
+
+/// Coarse quantile over a snapshot (mirrors `Histogram::approx_quantile`).
+fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
+    if h.count == 0 {
+        return None;
+    }
+    let target = (q * h.count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0;
+    for (i, b) in h.buckets.iter().enumerate() {
+        cum += b;
+        if cum >= target {
+            return Some(h.bounds.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+    Some(u64::MAX)
+}
+
+/// Render a magnitude: nanosecond histograms get time units, count
+/// histograms plain numbers, overflow an `>top` marker.
+fn fmt_mag(name: &str, v: Option<u64>) -> String {
+    let Some(v) = v else { return "-".into() };
+    if v == u64::MAX {
+        return ">top".into();
+    }
+    if name.ends_with("_ns") || name.starts_with("span.") {
+        if v >= 1_000_000_000 {
+            format!("{:.2}s", v as f64 / 1e9)
+        } else if v >= 1_000_000 {
+            format!("{:.1}ms", v as f64 / 1e6)
+        } else if v >= 1_000 {
+            format!("{:.0}us", v as f64 / 1e3)
+        } else {
+            format!("{v}ns")
+        }
+    } else {
+        v.to_string()
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("bounds", self.bounds.to_value()),
+            ("buckets", self.buckets.to_value()),
+            ("count", Value::UInt(self.count)),
+            ("sum", Value::UInt(self.sum)),
+        ])
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        // Emit maps as JSON objects (names are strings); the vendored
+        // serde's generic map impl would render [key, value] pairs.
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        );
+        obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+impl Serialize for RunManifest {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("schema", Value::UInt(self.schema)),
+            ("version", Value::Str(self.version.clone())),
+            ("describe", Value::Str(self.describe.clone())),
+            (
+                "run",
+                obj(vec![
+                    ("scenario", Value::Str(self.run.scenario.clone())),
+                    ("seed", Value::UInt(self.run.seed)),
+                    (
+                        "workers",
+                        match self.run.workers {
+                            Some(w) => Value::UInt(w as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("config_hash", Value::UInt(self.run.config_hash)),
+                ]),
+            ),
+            ("metrics", self.metrics.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn manifest_serializes_to_json_objects() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("gen.attacks".into(), 42);
+        metrics.gauges.insert("pool.imbalance".into(), 1.25);
+        metrics.histograms.insert(
+            "span.run".into(),
+            HistogramSnapshot {
+                bounds: vec![10, 20],
+                buckets: vec![1, 0, 0],
+                count: 1,
+                sum: 5,
+            },
+        );
+        let m = RunManifest {
+            schema: SCHEMA,
+            version: "0.1.0".into(),
+            describe: "v0.1.0-test".into(),
+            run: RunInfo {
+                scenario: "quick".into(),
+                seed: 0xDD05_C0DE,
+                workers: Some(4),
+                config_hash: 7,
+            },
+            metrics,
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"gen.attacks\": 42"));
+        assert!(json.contains("\"workers\": 4"));
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let counters = v.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("gen.attacks"), Some(&Value::UInt(42)));
+        let table = m.summary_table();
+        assert!(table.contains("quick run"));
+        assert!(table.contains("span.run"));
+        assert!(table.contains("gen.attacks"));
+    }
+}

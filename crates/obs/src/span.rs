@@ -1,0 +1,107 @@
+//! Guard-style wall-clock spans.
+//!
+//! `let _g = obs::span!("generate");` times the enclosing scope and
+//! records the elapsed nanoseconds into the global latency histogram
+//! `span.<path>`, where `<path>` is the dot-joined stack of spans open
+//! on the current thread — so a span entered inside another reports as
+//! `run.generate`, nesting generate → observe → project → analyze under
+//! one run. Pool worker threads start fresh stacks; their per-shard
+//! timings are recorded by the pool itself, not by spans.
+//!
+//! Spans are wall-clock (`Instant`) by design and therefore *never*
+//! influence simulation state; `crates/obs` is the repo lint's sole
+//! allowlisted home for wall-clock primitives in library code.
+
+use crate::metrics;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records its latency histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when telemetry was disabled at entry — a pure no-op.
+    armed: Option<(String, Instant)>,
+}
+
+/// Enter a span named `name`. Prefer the [`crate::span!`] macro.
+pub fn enter(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { armed: None };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join(".")
+    });
+    Span {
+        armed: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.armed.take() else {
+            return;
+        };
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        metrics::histogram(&format!("span.{path}"), &metrics::LATENCY_NS).record(ns);
+    }
+}
+
+/// Time the enclosing scope: `let _g = obs::span!("stage");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that poke the process-wide enabled switch.
+    fn switch_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap()
+    }
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        let _lock = switch_lock();
+        crate::set_enabled(true);
+        {
+            let _outer = enter("outer_span_test");
+            let _inner = enter("inner");
+        }
+        let snap = metrics::global().snapshot();
+        let h = &snap.histograms["span.outer_span_test.inner"];
+        assert!(h.count >= 1);
+        assert!(snap.histograms.contains_key("span.outer_span_test"));
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_keep_stack_clean() {
+        let _lock = switch_lock();
+        crate::set_enabled(false);
+        {
+            let _g = enter("disabled_span_test");
+        }
+        crate::set_enabled(true);
+        let snap = metrics::global().snapshot();
+        assert!(!snap.histograms.contains_key("span.disabled_span_test"));
+        // Stack must be balanced: a new span is top-level again.
+        {
+            let _g = enter("balanced_span_test");
+        }
+        let snap = metrics::global().snapshot();
+        assert!(snap.histograms.contains_key("span.balanced_span_test"));
+    }
+}

@@ -19,7 +19,34 @@
 //! them.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Pool telemetry handles, fetched from the global registry once. Pure
+/// side channel (see `obs`): recording never influences scheduling,
+/// shard order, or results.
+struct PoolMetrics {
+    /// Fan-out calls that actually went parallel.
+    calls: Arc<obs::metrics::Counter>,
+    /// Shards dispatched across all calls (serial ones included).
+    tasks: Arc<obs::metrics::Counter>,
+    /// Per-worker busy time per parallel fan-out call.
+    busy_ns: Arc<obs::metrics::Histogram>,
+    /// max/mean worker busy time of the latest parallel fan-out — 1.0
+    /// is a perfectly balanced call.
+    imbalance: Arc<obs::metrics::Gauge>,
+}
+
+impl PoolMetrics {
+    fn get() -> &'static PoolMetrics {
+        static M: OnceLock<PoolMetrics> = OnceLock::new();
+        M.get_or_init(|| PoolMetrics {
+            calls: obs::metrics::counter("pool.calls"),
+            tasks: obs::metrics::counter("pool.tasks"),
+            busy_ns: obs::metrics::histogram("pool.worker_busy_ns", &obs::metrics::LATENCY_NS),
+            imbalance: obs::metrics::gauge("pool.imbalance"),
+        })
+    }
+}
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "DDOSCOVERY_WORKERS";
@@ -66,16 +93,24 @@ impl ExecPool {
     {
         let chunk_size = chunk_size.max(1);
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let metrics = PoolMetrics::get();
+        metrics.tasks.add(chunks.len() as u64);
         if self.workers == 1 || chunks.len() <= 1 {
             return chunks.iter().enumerate().map(|(i, c)| f(i, c)).collect();
         }
+        metrics.calls.inc();
 
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(chunks.len()));
         let threads = self.workers.min(chunks.len());
+        // Per-worker busy time, written once per worker after its loop
+        // drains (slot writes are disjoint, so Relaxed is enough).
+        let busy: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for slot in &busy {
+                let (next, collected, chunks, f) = (&next, &collected, &chunks, &f);
+                scope.spawn(move || {
+                    let watch = obs::Stopwatch::start();
                     // Batch each worker's results locally; one lock
                     // acquisition per worker, not per shard.
                     let mut local: Vec<(usize, R)> = Vec::new();
@@ -85,9 +120,21 @@ impl ExecPool {
                         local.push((idx, f(idx, chunk)));
                     }
                     collected.lock().unwrap().extend(local);
+                    slot.store(watch.elapsed_ns() as usize, Ordering::Relaxed);
                 });
             }
         });
+        if obs::enabled() {
+            let busy_ns: Vec<u64> = busy.iter().map(|b| b.load(Ordering::Relaxed) as u64).collect();
+            let max = busy_ns.iter().copied().max().unwrap_or(0);
+            let mean = busy_ns.iter().sum::<u64>() as f64 / busy_ns.len().max(1) as f64;
+            for ns in busy_ns {
+                metrics.busy_ns.record(ns);
+            }
+            if mean > 0.0 {
+                metrics.imbalance.set(max as f64 / mean);
+            }
+        }
 
         let mut tagged = collected.into_inner().unwrap();
         tagged.sort_unstable_by_key(|(idx, _)| *idx);

@@ -1,7 +1,17 @@
-//! Source lint wired into the test suite (mirrors `tools/lint.sh`):
-//! no wall-clock or OS-entropy primitives anywhere in simulation code.
-//! Every stochastic draw must fork from the study seed and every
-//! timestamp must be SimTime, or runs stop being bitwise reproducible.
+//! Source lint wired into the test suite (mirrors `tools/lint.sh`),
+//! three rules:
+//!
+//! 1. No wall-clock or OS-entropy primitives anywhere in simulation
+//!    code: every stochastic draw must fork from the study seed and
+//!    every timestamp must be SimTime, or runs stop being bitwise
+//!    reproducible.
+//! 2. Wall-clock *timing* is quarantined in `crates/obs` (the
+//!    telemetry layer, DESIGN.md §5): simulation crates measure
+//!    elapsed time only through `obs::Stopwatch` / `obs::span!`. The
+//!    CLI binary is user-facing and exempt.
+//! 3. Library sources never print: stdout is reserved for
+//!    machine-readable output and stderr goes through the leveled
+//!    `obs` logger. Allowlist: the CLI binary and the logger itself.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -22,42 +32,95 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-#[test]
-fn no_nondeterminism_primitives_in_simulation_code() {
-    // Built by concatenation so this file passes its own scan.
-    let forbidden: Vec<String> = vec![
-        ["thread_", "rng"].concat(),
-        ["System", "Time"].concat(),
-    ];
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+struct Rule {
+    /// Shown in violation reports.
+    name: &'static str,
+    /// Substrings that must not appear (built by concatenation so this
+    /// file passes its own scan).
+    patterns: Vec<String>,
+    /// Directories (relative to the repo root) the rule scans.
+    dirs: &'static [&'static str],
+    /// Returns true when the repo-relative path is exempt.
+    allow: fn(&str) -> bool,
+}
+
+fn scan(root: &Path, rule: &Rule) -> Vec<String> {
     let mut files = Vec::new();
-    for dir in ["crates", "src", "examples", "tests"] {
+    for dir in rule.dirs {
         rust_sources(&root.join(dir), &mut files);
     }
-    assert!(
-        files.len() > 50,
-        "lint scanned only {} files — directory layout changed?",
-        files.len()
-    );
     let mut violations = Vec::new();
     for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if (rule.allow)(&rel) {
+            continue;
+        }
         let Ok(text) = fs::read_to_string(file) else { continue };
         for (lineno, line) in text.lines().enumerate() {
-            for pat in &forbidden {
+            for pat in &rule.patterns {
                 if line.contains(pat.as_str()) {
                     violations.push(format!(
-                        "{}:{}: {}",
-                        file.strip_prefix(root).unwrap_or(file).display(),
+                        "{rel}:{}: [{}] {}",
                         lineno + 1,
+                        rule.name,
                         line.trim()
                     ));
                 }
             }
         }
     }
+    violations
+}
+
+#[test]
+fn repo_lint_rules_hold() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // Sanity: the directory layout still holds a real code base.
+    let mut all = Vec::new();
+    for dir in ["crates", "src", "examples", "tests"] {
+        rust_sources(&root.join(dir), &mut all);
+    }
+    assert!(
+        all.len() > 50,
+        "lint scanned only {} files — directory layout changed?",
+        all.len()
+    );
+
+    let rules = [
+        Rule {
+            name: "nondeterminism primitive",
+            patterns: vec![["thread_", "rng"].concat(), ["System", "Time"].concat()],
+            dirs: &["crates", "src", "examples", "tests"],
+            allow: |_| false,
+        },
+        Rule {
+            name: "wall-clock timing outside crates/obs",
+            patterns: vec![["Inst", "ant"].concat()],
+            dirs: &["crates", "src", "tests"],
+            allow: |rel| rel.starts_with("crates/obs/") || rel.starts_with("crates/core/src/bin/"),
+        },
+        Rule {
+            name: "raw print in library code",
+            patterns: vec![["print", "ln!"].concat(), ["eprint", "ln!"].concat()],
+            dirs: &["crates", "src"],
+            allow: |rel| {
+                // Only library sources are in scope — crate tests and
+                // benches sit outside src/ and may print freely.
+                !(rel.starts_with("src/") || rel.contains("/src/"))
+                    || rel.starts_with("crates/core/src/bin/")
+                    || rel == "crates/obs/src/log.rs"
+            },
+        },
+    ];
+
+    let violations: Vec<String> = rules.iter().flat_map(|r| scan(root, r)).collect();
     assert!(
         violations.is_empty(),
-        "forbidden nondeterminism primitives:\n{}",
+        "repo lint violations:\n{}",
         violations.join("\n")
     );
 }

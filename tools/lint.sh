@@ -1,19 +1,55 @@
 #!/bin/sh
-# Repo lint: forbid wall-clock and OS-entropy primitives in simulation
-# code. The reproducibility contract (DESIGN.md §4) requires every
-# stochastic draw to fork from the study seed and every timestamp to be
-# SimTime — `thread_rng` or `SystemTime` anywhere in a crate breaks
-# bitwise determinism across runs and worker counts.
+# Repo lint, three rules (mirrored by tests/repo_lint.rs):
 #
-# Test code is held to the same bar: the crates' #[cfg(test)] modules
-# live inside crates/, and the workspace-level tests/ directory is
-# scanned too. Only vendor/ (third-party stand-ins) is exempt.
+# 1. No wall-clock or OS-entropy primitives in simulation code. The
+#    reproducibility contract (DESIGN.md §4) requires every stochastic
+#    draw to fork from the study seed and every timestamp to be
+#    SimTime — `thread_rng` or `SystemTime` anywhere in a crate breaks
+#    bitwise determinism across runs and worker counts.
+#
+# 2. Wall-clock timing (`Instant`) is quarantined in `crates/obs`, the
+#    telemetry layer (DESIGN.md §5): simulation crates measure elapsed
+#    time only through `obs::Stopwatch` / `obs::span!`, which are
+#    documented pure side channels. The CLI binary and examples are
+#    user-facing and exempt.
+#
+# 3. Library crates never print: stdout is reserved for
+#    machine-readable experiment output and stderr goes through the
+#    leveled `obs` logger. Allowlist: the CLI binary
+#    (crates/core/src/bin/), examples/, and the logger implementation
+#    itself (crates/obs/src/log.rs). Tests and benches are not
+#    libraries and may print.
+#
+# Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
 cd "$(dirname "$0")/.."
+
+fail=0
 
 pattern='thread_rng|SystemTime'
 if grep -rnE "$pattern" crates src examples tests --include='*.rs' 2>/dev/null; then
     echo "lint: forbidden nondeterminism primitive (pattern: $pattern)" >&2
+    fail=1
+fi
+
+if grep -rnE 'Instant' crates src tests --include='*.rs' 2>/dev/null \
+    | grep -vE '^crates/obs/' \
+    | grep -vE '^crates/core/src/bin/' \
+    | grep . ; then
+    echo "lint: wall-clock timing outside crates/obs (use obs::Stopwatch / obs::span!)" >&2
+    fail=1
+fi
+
+if grep -rnE 'e?println!' crates src --include='*.rs' 2>/dev/null \
+    | grep -E '(^|/)src/' \
+    | grep -vE '^crates/core/src/bin/' \
+    | grep -vE '^crates/obs/src/log\.rs:' \
+    | grep . ; then
+    echo "lint: raw print in library code (route stderr through obs::info!/warn!/...)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (no thread_rng / SystemTime in simulation code)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline)"

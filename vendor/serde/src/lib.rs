@@ -399,6 +399,20 @@ impl_tuple! {
     (A:0, B:1, C:2, D:3)
 }
 
+// `Value` round-trips as itself, so callers can parse or emit
+// schema-free JSON (e.g. inspecting a telemetry manifest without
+// declaring its full type).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
