@@ -31,7 +31,8 @@ impl TrendInterval {
 fn change_4y_of(series: &WeeklySeries) -> Option<f64> {
     series
         .linear_regression()
-        .map(|r| r.slope * 208.0 / r.intercept.max(1e-9))
+        .as_ref()
+        .and_then(crate::series::relative_change_4y)
 }
 
 /// Moving-block bootstrap of the 4-year relative change.
@@ -84,7 +85,7 @@ pub fn trend_interval(
     if changes.is_empty() {
         return None;
     }
-    changes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    changes.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         let pos = p * (changes.len() - 1) as f64;
         changes[pos.round() as usize]

@@ -39,7 +39,7 @@ pub fn concentration(counts: &[u64]) -> Option<Concentration> {
         .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
         .sum();
     let gini = (2.0 * weighted) / (n * total_f) - (n + 1.0) / n;
-    let top1 = *sorted.last().unwrap() as f64 / total_f;
+    let top1 = sorted.last().copied().unwrap_or(0) as f64 / total_f;
     let top10: u64 = sorted.iter().rev().take(10).sum();
     Some(Concentration {
         gini: gini.clamp(0.0, 1.0),

@@ -85,14 +85,23 @@ fn correlation_of_pairs(pairs: &[(f64, f64)]) -> Option<Correlation> {
 }
 
 /// Average (fractional) ranks with tie handling, 1-based.
+///
+/// Ordering is IEEE-754 total order (`f64::total_cmp`), so NaN input no
+/// longer panics the sort: positive NaNs rank above `+inf`, negative
+/// NaNs below `-inf`, and equal-bit NaNs tie with each other (NaN ≠ NaN
+/// under `==`, so tie detection compares total order too). Correlation
+/// callers pre-filter NaN pairs; direct callers get a deterministic
+/// ranking of whatever they pass in.
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+        while j + 1 < idx.len()
+            && values[idx[j + 1]].total_cmp(&values[idx[i]]) == std::cmp::Ordering::Equal
+        {
             j += 1;
         }
         // Tied block [i, j]: average rank.
@@ -170,7 +179,7 @@ pub fn box_stats(values: &[f64]) -> Option<BoxStats> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         // Linear interpolation between closest ranks.
         let pos = p * (v.len() - 1) as f64;
@@ -306,6 +315,18 @@ mod tests {
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
         let r = average_ranks(&[5.0, 5.0, 5.0]);
         assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_nan_does_not_panic() {
+        // Regression: `partial_cmp(..).unwrap()` aborted on any NaN in
+        // this public API. Total order ranks NaN above +inf.
+        let r = average_ranks(&[2.0, f64::NAN, 1.0, f64::INFINITY]);
+        assert_eq!(r, vec![2.0, 4.0, 1.0, 3.0]);
+        // Negative NaN ranks below -inf; identical NaNs tie.
+        let neg_nan = -f64::NAN;
+        let r = average_ranks(&[neg_nan, f64::NEG_INFINITY, neg_nan]);
+        assert_eq!(r, vec![1.5, 3.0, 1.5]);
     }
 
     #[test]

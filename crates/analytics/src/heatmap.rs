@@ -18,8 +18,8 @@ impl Heatmap {
     /// Build from normalized series, clipping extreme peaks so the
     /// shading stays readable (the paper's colormap saturates too).
     pub fn from_series(series: &[WeeklySeries], clip_max: f64) -> Self {
-        assert!(!series.is_empty());
-        let weeks = series.iter().map(|s| s.values.len()).max().unwrap();
+        // No series ⇒ an empty (0-row, 0-week) heatmap, not a panic.
+        let weeks = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
         let mut values = Vec::with_capacity(series.len() * weeks);
         for s in series {
             for w in 0..weeks {

@@ -26,8 +26,8 @@ pub mod upset;
 pub use bootstrap::{trend_interval, TrendInterval};
 pub use concentration::{concentration, Concentration};
 pub use corr::{
-    box_stats, correlation_matrix, pearson, quarterly_correlations, spearman, BoxStats,
-    Correlation, CorrelationMatrix, Method,
+    average_ranks, box_stats, correlation_matrix, pearson, quarterly_correlations, spearman,
+    BoxStats, Correlation, CorrelationMatrix, Method,
 };
 pub use heatmap::Heatmap;
 pub use lag::{best_lag, durable_crossing, lagged_spearman, share_series, LagResult};
@@ -36,5 +36,5 @@ pub use overlap::{
     weekly_target_counts, ConfirmationShares, NewRecurring, OverlapSeries,
 };
 pub use seasonal::{monthly_profile, seasonal_summary, SeasonalSummary};
-pub use series::{median, Regression, Trend, WeeklySeries};
+pub use series::{median, relative_change_4y, Regression, Trend, WeeklySeries};
 pub use upset::{upset, TargetTuple, UpsetAnalysis};

@@ -57,7 +57,7 @@ pub fn seasonal_summary(series: &WeeklySeries) -> Option<SeasonalSummary> {
         .iter()
         .enumerate()
         .filter(|(_, v)| !v.is_nan())
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?
+        .max_by(|a, b| a.1.total_cmp(b.1))?
         .0 as u8
         + 1;
     Some(SeasonalSummary {

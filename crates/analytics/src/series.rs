@@ -85,11 +85,12 @@ impl WeeklySeries {
                 out.push(f64::NAN);
                 continue;
             }
-            state = Some(match state {
+            let next = match state {
                 None => v,
                 Some(s) => s + alpha * (v - s),
-            });
-            out.push(state.unwrap());
+            };
+            state = Some(next);
+            out.push(next);
         }
         WeeklySeries {
             name: format!("{} (EWMA)", self.name),
@@ -140,21 +141,35 @@ impl WeeklySeries {
     /// Table-1 trend classification: relative change over four years
     /// (208 weeks) of the fitted line, against the fitted level at the
     /// window start. > +5 % ⇒ increasing, < −5 % ⇒ decreasing,
-    /// otherwise steady.
+    /// otherwise steady. A non-positive fitted baseline makes the
+    /// relative change undefined ([`relative_change_4y`] returns
+    /// `None`) and classifies as steady rather than blowing the ratio
+    /// up against an arbitrary epsilon.
     pub fn trend(&self) -> Trend {
-        let Some(reg) = self.linear_regression() else {
-            return Trend::Steady;
-        };
-        let base = reg.intercept.max(1e-9);
-        let change = reg.slope * 208.0 / base;
-        if change > 0.05 {
-            Trend::Increasing
-        } else if change < -0.05 {
-            Trend::Decreasing
-        } else {
-            Trend::Steady
+        let change = self
+            .linear_regression()
+            .as_ref()
+            .and_then(relative_change_4y);
+        match change {
+            Some(c) if c > 0.05 => Trend::Increasing,
+            Some(c) if c < -0.05 => Trend::Decreasing,
+            _ => Trend::Steady,
         }
     }
+}
+
+/// The Table-1 statistic: relative change of the fitted line over four
+/// years (208 weeks), measured against the fitted level at the window
+/// start. Returns `None` when the baseline (intercept) is non-positive
+/// or not finite — dividing by an epsilon-clamped intercept inflated
+/// the ratio to ~1e10 and misclassified the trend. Shared by
+/// [`WeeklySeries::trend`], the bootstrap replicates, and the sweep
+/// harness so all three agree on degenerate fits.
+pub fn relative_change_4y(reg: &Regression) -> Option<f64> {
+    if !(reg.intercept.is_finite() && reg.slope.is_finite()) || reg.intercept <= 0.0 {
+        return None;
+    }
+    Some(reg.slope * 208.0 / reg.intercept)
 }
 
 /// Fitted line y = intercept + slope · week.
@@ -220,13 +235,16 @@ impl Trend {
     }
 }
 
-/// Median of a value slice (NaNs must be pre-filtered). Empty ⇒ NaN.
+/// Median of a value slice. Empty ⇒ NaN. NaNs sort to the high end
+/// under IEEE total order, so a slice with stray NaNs still yields a
+/// deterministic (if NaN-shifted) median instead of a sort panic —
+/// callers that care should pre-filter.
 pub fn median(values: &[f64]) -> f64 {
     if values.is_empty() {
         return f64::NAN;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mid = sorted.len() / 2;
     if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
@@ -378,6 +396,39 @@ mod tests {
         // Flat within the ±5 % band.
         let flat: Vec<f64> = (0..235).map(|i| 100.0 + 0.001 * i as f64).collect();
         assert_eq!(WeeklySeries::new("x", flat).trend(), Trend::Steady);
+    }
+
+    #[test]
+    fn trend_non_positive_intercept_is_steady() {
+        // A rising line fitted through a negative start: the old
+        // `intercept.max(1e-9)` clamp exploded the relative change to
+        // ~1e10 and reported Increasing. Undefined baseline ⇒ Steady.
+        let values: Vec<f64> = (0..235).map(|i| -10.0 + 0.02 * i as f64).collect();
+        let s = WeeklySeries::new("x", values);
+        let reg = s.linear_regression().unwrap();
+        assert!(reg.intercept < 0.0);
+        assert!(relative_change_4y(&reg).is_none());
+        assert_eq!(s.trend(), Trend::Steady);
+    }
+
+    #[test]
+    fn relative_change_4y_matches_trend_formula() {
+        let values: Vec<f64> = (0..235).map(|i| 2.0 + 0.01 * i as f64).collect();
+        let reg = WeeklySeries::new("x", values).linear_regression().unwrap();
+        let c = relative_change_4y(&reg).unwrap();
+        assert!((c - 0.01 * 208.0 / 2.0).abs() < 1e-9);
+        // Zero intercept is as undefined as a negative one.
+        let zero = Regression { slope: 1.0, intercept: 0.0, r2: 1.0, n: 10 };
+        assert!(relative_change_4y(&zero).is_none());
+        let inf = Regression { slope: 1.0, intercept: f64::INFINITY, r2: 1.0, n: 10 };
+        assert!(relative_change_4y(&inf).is_none());
+    }
+
+    #[test]
+    fn median_tolerates_stray_nan() {
+        // NaNs sort last under total order: no panic, deterministic.
+        let m = median(&[3.0, f64::NAN, 1.0]);
+        assert_eq!(m, 3.0);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! NaN-robustness property suites (DESIGN.md §6): the analytics layer
+//! orders floats with IEEE-754 `total_cmp`, so NaN and ±∞ contamination
+//! must never panic — and must leave the *finite* part of every
+//! statistic lawful. These suites mix adversarial specials into
+//! otherwise well-behaved vectors and assert the documented degraded
+//! behaviour, complementing the clean-input invariants in
+//! `prop_stats.rs`.
+
+use analytics::corr::average_ranks;
+use analytics::{box_stats, median, pearson, spearman, Trend, WeeklySeries};
+use proptest::prelude::*;
+
+/// A finite value, or one of the specials, chosen by a selector byte:
+/// roughly one in four values is hostile.
+fn poisoned(finite: f64, selector: u8) -> f64 {
+    match selector % 12 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => finite,
+    }
+}
+
+fn poisoned_vec(
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-1.0e6f64..1.0e6, any::<u8>()), len)
+        .prop_map(|pairs| pairs.into_iter().map(|(v, s)| poisoned(v, s)).collect())
+}
+
+proptest! {
+    // ---- corr ------------------------------------------------------
+
+    /// `average_ranks` under NaN: still a permutation of 1..=n (NaN
+    /// sorts above +∞ in the total order, so every value gets a rank),
+    /// and the ranks of the *finite* values still respect their order.
+    #[test]
+    fn ranks_with_nan_stay_a_permutation(values in poisoned_vec(1..50)) {
+        let ranks = average_ranks(&values);
+        prop_assert_eq!(ranks.len(), values.len());
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6, "rank sum {sum}");
+        for i in 0..values.len() {
+            prop_assert!(ranks[i] >= 1.0 && ranks[i] <= n);
+            for j in 0..values.len() {
+                if values[i].is_finite() && values[j].is_finite() && values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    /// NaN-ranking is placement-stable: a NaN always outranks every
+    /// finite value and +∞ (the documented `total_cmp` placement).
+    #[test]
+    fn nan_ranks_highest(values in poisoned_vec(2..40)) {
+        let ranks = average_ranks(&values);
+        for i in 0..values.len() {
+            if !values[i].is_nan() {
+                continue;
+            }
+            for j in 0..values.len() {
+                if values[j].is_finite() || values[j] == f64::INFINITY {
+                    prop_assert!(
+                        ranks[i] > ranks[j],
+                        "NaN rank {} not above {} ({})",
+                        ranks[i], ranks[j], values[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Correlations on poisoned inputs never panic, and whatever they
+    /// return stays in the lawful ranges.
+    #[test]
+    fn correlations_survive_poison(
+        xs in poisoned_vec(0..50),
+        ys in poisoned_vec(0..50),
+    ) {
+        for f in [pearson, spearman] {
+            if let Some(c) = f(&xs, &ys) {
+                prop_assert!(c.rho.is_nan() || (-1.0..=1.0).contains(&c.rho));
+                prop_assert!(c.p_value.is_nan() || (0.0..=1.0).contains(&c.p_value));
+                prop_assert!(c.n <= xs.len().min(ys.len()));
+            }
+        }
+    }
+
+    // ---- box_stats -------------------------------------------------
+
+    /// Box statistics under NaN: NaNs are dropped (they are the
+    /// missing-data marker), an all-NaN sample is absent rather than
+    /// garbage, and the surviving sample keeps the usual ordering
+    /// min ≤ q1 ≤ median ≤ q3 ≤ max in the IEEE total order.
+    #[test]
+    fn box_stats_survive_poison(values in poisoned_vec(1..50)) {
+        let non_nan = values.iter().filter(|v| !v.is_nan()).count();
+        match box_stats(&values) {
+            None => prop_assert_eq!(non_nan, 0, "stats dropped a non-NaN sample"),
+            Some(b) => {
+                prop_assert_eq!(b.n, non_nan);
+                prop_assert!(b.min.total_cmp(&b.max).is_le());
+                if values.iter().all(|v| v.is_finite()) {
+                    prop_assert!(b.min <= b.q1 + 1e-9);
+                    prop_assert!(b.q1 <= b.median + 1e-9);
+                    prop_assert!(b.median <= b.q3 + 1e-9);
+                    prop_assert!(b.q3 <= b.max + 1e-9);
+                }
+                // Finite quartiles interpolate the sorted sample, so
+                // they stay inside the finite envelope of the input.
+                let lo = values.iter().copied().filter(|v| v.is_finite())
+                    .fold(f64::INFINITY, f64::min);
+                let hi = values.iter().copied().filter(|v| v.is_finite())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                for q in [b.q1, b.median, b.q3] {
+                    if q.is_finite() && lo.is_finite() {
+                        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- series ----------------------------------------------------
+
+    /// `median` tolerates NaN (masked weeks use NaN as the missing
+    /// marker): the result over a poisoned vector equals the median
+    /// over some subset of the total order — crucially, no panic, and
+    /// for an all-finite vector it is bounded by the extremes.
+    #[test]
+    fn median_survives_poison(values in poisoned_vec(1..60)) {
+        let m = median(&values);
+        if values.iter().all(|v| v.is_finite()) {
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+        }
+    }
+
+    /// NaN weeks are exactly the missing-data marker: the fit over a
+    /// NaN-holed series matches a reference OLS over its present
+    /// (week, value) pairs, and trend classification stays total even
+    /// with ±∞ contamination.
+    #[test]
+    fn regression_skips_nan_weeks(
+        finite in proptest::collection::vec(-1.0e4f64..1.0e4, 2..120),
+        holes in any::<u64>(),
+    ) {
+        let values: Vec<f64> = finite
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if holes >> (i % 64) & 1 == 1 { f64::NAN } else { v })
+            .collect();
+        let s = WeeklySeries::new("holed", values);
+        let pairs: Vec<(f64, f64)> = s.present().map(|(i, v)| (i as f64, v)).collect();
+        let fit = s.linear_regression();
+        if pairs.len() < 2 {
+            prop_assert!(fit.is_none());
+        } else if let Some(r) = fit {
+            // Reference OLS over the present pairs.
+            let n = pairs.len() as f64;
+            let sx: f64 = pairs.iter().map(|(x, _)| x).sum();
+            let sy: f64 = pairs.iter().map(|(_, y)| y).sum();
+            let sxx: f64 = pairs.iter().map(|(x, _)| x * x).sum();
+            let sxy: f64 = pairs.iter().map(|(x, y)| x * y).sum();
+            let denom = n * sxx - sx * sx;
+            prop_assume!(denom.abs() > 1e-9);
+            let slope = (n * sxy - sx * sy) / denom;
+            let intercept = (sy - slope * sx) / n;
+            prop_assert!((r.slope - slope).abs() < 1e-6 * slope.abs().max(1.0),
+                "slope {} vs reference {}", r.slope, slope);
+            prop_assert!((r.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0),
+                "intercept {} vs reference {}", r.intercept, intercept);
+        }
+    }
+
+    /// Trend classification is total regardless of contamination.
+    #[test]
+    fn trend_is_total_under_poison(values in poisoned_vec(0..120)) {
+        let t = WeeklySeries::new("p", values).trend();
+        prop_assert!(matches!(t, Trend::Increasing | Trend::Decreasing | Trend::Steady));
+    }
+
+    /// Smoothing never panics on poison and preserves length.
+    #[test]
+    fn smoothing_survives_poison(values in poisoned_vec(0..80), span in 1usize..20) {
+        let s = WeeklySeries::new("x", values);
+        prop_assert_eq!(s.ewma(span).len(), s.len());
+        prop_assert_eq!(s.centered_ma(span).len(), s.len());
+        prop_assert_eq!(s.normalize_to_baseline().len(), s.len());
+    }
+}

@@ -124,10 +124,7 @@ impl BooterMarket {
                         .map(|(i, _)| i)
                         .collect();
                     alive_idx.sort_by(|&a, &b| {
-                        booters[b]
-                            .popularity
-                            .partial_cmp(&booters[a].popularity)
-                            .unwrap()
+                        booters[b].popularity.total_cmp(&booters[a].popularity)
                     });
                     let seized: Vec<usize> = alive_idx
                         .iter()

@@ -104,9 +104,12 @@ impl ShapeParams {
     }
 
     /// Sample the number of reflectors abused, capped by the pool size.
+    /// Tiny pools (fewer than the 10-reflector floor) cap the draw at
+    /// the whole pool instead of panicking on an inverted clamp.
     pub fn sample_reflector_count(&self, pool: u64, rng: &mut SimRng) -> u32 {
+        let cap = pool.max(1);
         let k = log_normal(rng, self.reflector_median.ln(), self.reflector_sigma);
-        (k as u64).clamp(10, pool) as u32
+        (k as u64).clamp(cap.min(10), cap) as u32
     }
 
     /// Sample the spoof-space fraction for a spoofed attack.
@@ -146,7 +149,7 @@ mod tests {
         assert!(samples.iter().all(|&x| x >= p.pps_min && x <= p.pps_max));
         // Heavy tail: the max dwarfs the median.
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted[sorted.len() / 2];
         assert!(sorted[sorted.len() - 1] > 100.0 * median);
     }

@@ -12,8 +12,12 @@
 //! logger (`DDOSCOVERY_LOG=error|warn|info|debug`). `--telemetry PATH`
 //! (or `DDOSCOVERY_TELEMETRY=PATH`) additionally writes a JSON run
 //! manifest and prints its summary table on stderr.
+//!
+//! Exit codes: 0 on success, 1 for runtime failures (I/O, analytics),
+//! 2 for usage and config errors — mirroring
+//! [`ddoscovery::Error::exit_code`].
 
-use ddoscovery::{all_ids, run_experiment, ObsId, StudyConfig, StudyRun};
+use ddoscovery::{all_ids, run_experiment, Error, ObsId, StudyConfig, StudyRun};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -28,16 +32,34 @@ fn usage() -> ExitCode {
          \u{20}  config                       print the default study config as JSON\n\n\
          options:\n\
          \u{20}  --quick            scaled-down study (~1/8 volume)\n\
-         \u{20}  --seed N           master seed (default 0xDD05C0DE)\n\
+         \u{20}  --seed N           master seed: decimal, or hex with an\n\
+         \u{20}                     explicit 0x prefix (default 0xDD05C0DE)\n\
          \u{20}  --out DIR          CSV output directory (default: results)\n\
          \u{20}  --workers N        execution-pool worker count (wins over\n\
          \u{20}                     DDOSCOVERY_WORKERS; output is identical\n\
          \u{20}                     for every setting)\n\
          \u{20}  --telemetry PATH   write a JSON run manifest to PATH and\n\
          \u{20}                     print a summary table on stderr (env:\n\
-         \u{20}                     DDOSCOVERY_TELEMETRY)",
+         \u{20}                     DDOSCOVERY_TELEMETRY)\n\n\
+         exit codes:\n\
+         \u{20}  0  success\n\
+         \u{20}  1  runtime failure (I/O, analytics)\n\
+         \u{20}  2  usage or config error",
     );
     ExitCode::from(2)
+}
+
+/// Parse a `--seed` value. Decimal by default; hexadecimal only with an
+/// explicit `0x`/`0X` prefix. (An earlier version tried hex *first*, so
+/// `--seed 100` silently became 256 — every digit string is valid hex.)
+fn parse_seed(v: &str) -> Result<u64, String> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad hex seed {v:?} (expected 0x followed by hex digits)"))
+    } else {
+        v.parse()
+            .map_err(|_| format!("bad seed {v:?} (decimal, or 0x-prefixed hex)"))
+    }
 }
 
 #[derive(Debug, PartialEq)]
@@ -65,12 +87,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--quick" => opts.quick = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
-                let v = v.trim_start_matches("0x");
-                opts.seed = Some(
-                    u64::from_str_radix(v, 16)
-                        .or_else(|_| v.parse())
-                        .map_err(|_| format!("bad seed {v:?}"))?,
-                );
+                opts.seed = Some(parse_seed(v)?);
             }
             "--out" => opts.out = it.next().ok_or("--out needs a value")?.clone(),
             "--workers" => {
@@ -190,7 +207,10 @@ fn cmd_run(opts: &Options) -> ExitCode {
     );
     let run_span = obs::span!("run");
     let watch = obs::Stopwatch::start();
-    let run = StudyRun::execute(&cfg);
+    let run = match StudyRun::try_execute(&cfg) {
+        Ok(run) => run,
+        Err(e) => return fail(&e),
+    };
     obs::info!(
         "{} attacks observed in {:.1}s",
         run.attacks.len(),
@@ -198,18 +218,20 @@ fn cmd_run(opts: &Options) -> ExitCode {
     );
     let out_dir = Path::new(&opts.out);
     if let Err(e) = fs::create_dir_all(out_dir) {
-        obs::error!("cannot create {}: {e}", out_dir.display());
-        return ExitCode::FAILURE;
+        return fail(&Error::io(out_dir.display().to_string(), &e));
     }
     let analyze_span = obs::span!("analyze");
     for id in wanted {
-        let result = run_experiment(&run, id).expect("validated id");
+        // `wanted` is pre-checked against `all_ids`, but a registry
+        // mismatch should surface as a diagnostic, not a panic.
+        let Some(result) = run_experiment(&run, id) else {
+            return fail(&Error::analytics(id, "experiment id not in the registry"));
+        };
         println!("== [{}] {} ==\n{}", result.id, result.title, result.body);
         for (name, contents) in &result.csv {
             let path = out_dir.join(name);
             if let Err(e) = fs::write(&path, contents) {
-                obs::error!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return fail(&Error::io(path.display().to_string(), &e));
             }
             obs::info!("wrote {}", path.display());
         }
@@ -223,10 +245,19 @@ fn cmd_run(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Log a typed error and map it to its process exit code.
+fn fail(e: &Error) -> ExitCode {
+    obs::error!("{e}");
+    ExitCode::from(e.exit_code())
+}
+
 fn cmd_trends(opts: &Options) -> ExitCode {
     let cfg = build_config(opts);
     let run_span = obs::span!("run");
-    let run = StudyRun::execute(&cfg);
+    let run = match StudyRun::try_execute(&cfg) {
+        Ok(run) => run,
+        Err(e) => return fail(&e),
+    };
     let project_span = obs::span!("project");
     println!("{:16} {:>8}  type  trend", "observatory", "attacks");
     for id in ObsId::MAIN_TEN {
@@ -277,6 +308,37 @@ mod tests {
     fn parse(args: &[&str]) -> Result<Options, String> {
         let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         parse_options(&owned)
+    }
+
+    #[test]
+    fn seed_is_decimal_by_default() {
+        // Regression: hex used to be tried first, so `--seed 100`
+        // silently became 0x100 = 256.
+        let opts = parse(&["--seed", "100"]).unwrap();
+        assert_eq!(opts.seed, Some(100));
+    }
+
+    #[test]
+    fn seed_hex_needs_explicit_prefix() {
+        assert_eq!(parse(&["--seed", "0x64"]).unwrap().seed, Some(100));
+        assert_eq!(parse(&["--seed", "0X64"]).unwrap().seed, Some(100));
+        assert_eq!(
+            parse(&["--seed", "0xDD05C0DE"]).unwrap().seed,
+            Some(0xDD05_C0DE)
+        );
+        // Bare hex digits are not a decimal number: reject rather than
+        // guess a radix.
+        assert!(parse(&["--seed", "beef"]).is_err());
+    }
+
+    #[test]
+    fn seed_rejects_garbage() {
+        assert!(parse(&["--seed", "0x"]).is_err());
+        assert!(parse(&["--seed", "0xZZ"]).is_err());
+        assert!(parse(&["--seed", "12.5"]).is_err());
+        assert!(parse(&["--seed", "-1"]).is_err());
+        assert!(parse(&["--seed", ""]).is_err());
+        assert!(parse(&["--seed"]).is_err());
     }
 
     #[test]

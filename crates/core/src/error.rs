@@ -1,0 +1,120 @@
+//! Typed errors for the study pipeline (DESIGN.md §6).
+//!
+//! Every failure path in config construction, pipeline execution, the
+//! sweep harness, and the CLI surfaces as a [`Error`] value with a
+//! stable exit code — never a panic. The taxonomy is deliberately
+//! small:
+//!
+//! * [`Error::Config`] — an invariant of [`StudyConfig`] is violated
+//!   (negative rate, `sav_reduction` outside `[0, 1]`, zero workers…).
+//!   These are caller mistakes: exit code 2, like a usage error.
+//! * [`Error::Io`] — the OS refused a read/write (CSV output dir,
+//!   telemetry manifest). Exit code 1.
+//! * [`Error::Analytics`] — a statistic could not be produced from the
+//!   data at hand (unknown experiment id, empty projection where one
+//!   is required). Degenerate *inputs* inside analytics yield
+//!   `None`/NaN instead; this variant is for callers that need a
+//!   diagnostic rather than a silent absence. Exit code 1.
+//!
+//! [`StudyConfig`]: crate::scenario::StudyConfig
+
+use std::fmt;
+
+/// A typed, displayable failure in the study pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A [`crate::StudyConfig`] invariant is violated. `field` is the
+    /// dotted path of the offending parameter.
+    Config {
+        field: &'static str,
+        message: String,
+    },
+    /// An operating-system I/O failure, with the path involved.
+    Io { path: String, message: String },
+    /// An analytics product could not be computed.
+    Analytics { context: String, message: String },
+}
+
+impl Error {
+    /// Construct a config-invariant violation.
+    pub fn config(field: &'static str, message: impl Into<String>) -> Error {
+        Error::Config {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Construct an I/O failure carrying its path.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Error {
+        Error::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Construct an analytics failure.
+    pub fn analytics(context: impl Into<String>, message: impl Into<String>) -> Error {
+        Error::Analytics {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Process exit code the CLI maps this error to: config errors are
+    /// usage-class (2), runtime failures are 1.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Config { .. } => 2,
+            Error::Io { .. } | Error::Analytics { .. } => 1,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
+            }
+            Error::Io { path, message } => write!(f, "io error: {path}: {message}"),
+            Error::Analytics { context, message } => {
+                write!(f, "analytics error: {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pipeline result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_exit_codes() {
+        let c = Error::config("gen.timeline.sav_reduction", "must be within [0, 1], got 1.5");
+        assert_eq!(c.exit_code(), 2);
+        assert_eq!(
+            c.to_string(),
+            "invalid config: gen.timeline.sav_reduction: must be within [0, 1], got 1.5"
+        );
+        let io = Error::io(
+            "results/x.csv",
+            &std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert_eq!(io.exit_code(), 1);
+        assert!(io.to_string().starts_with("io error: results/x.csv"));
+        let a = Error::analytics("trends", "no observations");
+        assert_eq!(a.exit_code(), 1);
+        assert!(a.to_string().contains("trends"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::config("seed", "nope"));
+        assert!(e.to_string().contains("seed"));
+    }
+}

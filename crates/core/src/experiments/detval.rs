@@ -74,7 +74,9 @@ pub fn detval(run: &StudyRun) -> ExperimentResult {
         let packet = !det.finish().is_empty();
         // Event-side threshold check, selection forced: per-sensor
         // request volume vs the platform threshold.
-        let refl = a.reflectors.unwrap();
+        let Some(refl) = a.reflectors else {
+            continue; // RA sample filter guarantees reflectors; stay panic-free
+        };
         let expected = a.pps / refl.reflector_count.max(1) as f64 * a.duration_secs as f64;
         let event = expected >= hp_cfg.min_packets as f64;
         hp_total += 1;

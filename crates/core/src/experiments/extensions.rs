@@ -55,7 +55,7 @@ pub fn lags(run: &StudyRun) -> ExperimentResult {
             }
         }
     }
-    rows.sort_by(|a, b| b[3].partial_cmp(&a[3]).unwrap());
+    rows.sort_by(|a, b| b[3].cmp(&a[3]));
     let mut body = String::from(
         "Pairs where one observatory leads another by >= 2 weeks (EWMA, best lag in +-16 wk):\n",
     );
@@ -494,9 +494,9 @@ pub fn population(run: &StudyRun) -> ExperimentResult {
             }
             let mut durations: Vec<f64> =
                 subset.iter().map(|a| a.duration_secs as f64).collect();
-            durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            durations.sort_by(|a, b| a.total_cmp(b));
             let mut pps: Vec<f64> = subset.iter().map(|a| a.pps).collect();
-            pps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            pps.sort_by(|a, b| a.total_cmp(b));
             let carpet = subset.iter().filter(|a| a.is_carpet_bombing()).count();
             let carpet_share = carpet as f64 / subset.len() as f64;
             csv.push_str(&format!(

@@ -2,12 +2,15 @@
 //! configuration, the end-to-end pipeline, and the experiment registry
 //! that regenerates every table and figure of the paper.
 
+pub mod error;
 pub mod experiments;
 pub mod pipeline;
 pub mod render;
 pub mod scenario;
 pub mod sweep;
 
+pub use error::{Error, Result};
 pub use experiments::{all_ids, run_all, run_experiment, ExperimentResult};
 pub use pipeline::{ObsId, StudyRun};
 pub use scenario::StudyConfig;
+pub use sweep::{SweepOutcome, SweepReport, SweepSkip};

@@ -236,9 +236,30 @@ impl StudyRun {
     /// Execute the full pipeline. Deterministic in `config.seed`,
     /// regardless of worker count: uses `config.workers` if set, else
     /// the process-wide default pool.
+    ///
+    /// Panics on an invalid config; callers handling untrusted configs
+    /// (CLI, sweeps, fuzzing) should use [`StudyRun::try_execute`].
     pub fn execute(config: &StudyConfig) -> StudyRun {
+        Self::try_execute(config).expect("StudyConfig failed validation")
+    }
+
+    /// Validate, then execute. The only failure mode is a typed
+    /// [`Error::Config`](crate::Error::Config) from
+    /// [`StudyConfig::validate`]; a config that passes validation runs
+    /// to completion without panicking.
+    pub fn try_execute(config: &StudyConfig) -> crate::error::Result<StudyRun> {
+        config.validate()?;
         let pool = config.workers.map(ExecPool::new).unwrap_or_default();
-        Self::execute_on(config, &pool)
+        Ok(Self::execute_on(config, &pool))
+    }
+
+    /// Validate, then execute on a caller-provided pool.
+    pub fn try_execute_on(
+        config: &StudyConfig,
+        pool: &ExecPool,
+    ) -> crate::error::Result<StudyRun> {
+        config.validate()?;
+        Ok(Self::execute_on(config, pool))
     }
 
     /// Execute the full pipeline on a caller-provided pool.

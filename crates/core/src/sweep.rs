@@ -6,7 +6,15 @@
 //! Grid points run concurrently on the shared execution pool (each
 //! study is independent and internally deterministic); nested study
 //! fan-outs reuse the same pool handle, which is reentrant.
+//!
+//! Every mutated grid point is re-validated before execution: `apply`
+//! is an arbitrary closure, so it can push a copy of the base config
+//! outside its invariants (e.g. sweeping `sav_reduction` past 1.0).
+//! Such points are skipped — recorded in [`SweepReport::skipped`] with
+//! their typed error and warned about on stderr — instead of panicking
+//! deep inside the generator and killing the whole grid.
 
+use crate::error::Error;
 use crate::pipeline::{ObsId, StudyRun};
 use crate::scenario::StudyConfig;
 use analytics::Trend;
@@ -22,31 +30,61 @@ pub struct SweepOutcome {
     pub observations: usize,
     pub trend: Trend,
     /// Fitted relative change over four years (the Table-1 statistic).
+    /// NaN when the fit has no positive baseline to divide by (see
+    /// [`analytics::relative_change_4y`]).
     pub change_4y: f64,
+}
+
+/// A grid point whose mutated config failed validation.
+#[derive(Debug, Clone)]
+pub struct SweepSkip {
+    /// The swept parameter's value at the rejected point.
+    pub value: f64,
+    pub error: Error,
+}
+
+/// Outcomes of a full sweep: executed grid points in grid order, plus
+/// the points skipped because `apply` produced an invalid config.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per-(value, observatory) outcomes, ordered by grid value then
+    /// by the caller's observatory order. Skipped values are absent.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Grid points rejected by [`StudyConfig::validate`], in grid order.
+    pub skipped: Vec<SweepSkip>,
 }
 
 /// Run the study once per parameter value and collect outcomes for the
 /// requested observatories. `apply` mutates a copy of the base config
 /// for each grid value.
+///
+/// Returns `Err` only when the *base* config is already invalid;
+/// individual invalid grid points degrade into [`SweepReport::skipped`]
+/// entries so one bad value cannot abort the rest of the grid.
 pub fn sweep(
     base: &StudyConfig,
     values: &[f64],
     observatories: &[ObsId],
     apply: impl Fn(&mut StudyConfig, f64) + Sync,
-) -> Vec<SweepOutcome> {
+) -> Result<SweepReport, Error> {
+    base.validate()?;
     let pool = base.workers.map(ExecPool::new).unwrap_or_default();
     let results = pool.run_indexed(values.len(), |i| {
         let value = values[i];
         let mut cfg = base.clone();
         apply(&mut cfg, value);
+        if let Err(error) = cfg.validate() {
+            return Err(SweepSkip { value, error });
+        }
         let run = StudyRun::execute_on(&cfg, &pool);
-        observatories
+        Ok(observatories
             .iter()
             .map(|&id| {
                 let series = run.normalized_series(id);
                 let change = series
                     .linear_regression()
-                    .map(|r| r.slope * 208.0 / r.intercept.max(1e-9))
+                    .as_ref()
+                    .and_then(analytics::relative_change_4y)
                     .unwrap_or(f64::NAN);
                 SweepOutcome {
                     value,
@@ -56,9 +94,23 @@ pub fn sweep(
                     change_4y: change,
                 }
             })
-            .collect::<Vec<SweepOutcome>>()
+            .collect::<Vec<SweepOutcome>>())
     });
-    results.into_iter().flatten().collect()
+    let mut report = SweepReport::default();
+    for point in results {
+        match point {
+            Ok(outcomes) => report.outcomes.extend(outcomes),
+            Err(skip) => {
+                obs::warn!(
+                    "sweep: skipping grid value {}: {}",
+                    skip.value,
+                    skip.error
+                );
+                report.skipped.push(skip);
+            }
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -78,12 +130,15 @@ mod tests {
     #[test]
     fn sweep_shape_and_order() {
         let values = [0.0, 0.4];
-        let out = sweep(
+        let report = sweep(
             &tiny_base(),
             &values,
             &[ObsId::Hopscotch, ObsId::AmpPot],
             |cfg, v| cfg.gen.timeline.sav_reduction = v,
-        );
+        )
+        .unwrap();
+        let out = &report.outcomes;
+        assert!(report.skipped.is_empty());
         assert_eq!(out.len(), 4);
         // Ordered by grid value then observatory.
         assert_eq!(out[0].value, 0.0);
@@ -98,9 +153,11 @@ mod tests {
         // drives the 4-year change down. The sweep must show the
         // monotone response.
         let values = [0.0, 0.6];
-        let out = sweep(&tiny_base(), &values, &[ObsId::AmpPot], |cfg, v| {
+        let report = sweep(&tiny_base(), &values, &[ObsId::AmpPot], |cfg, v| {
             cfg.gen.timeline.sav_reduction = v;
-        });
+        })
+        .unwrap();
+        let out = &report.outcomes;
         let change_at = |v: f64| {
             out.iter()
                 .find(|o| o.value == v)
@@ -122,10 +179,42 @@ mod tests {
             sweep(&tiny_base(), &values, &[ObsId::Ucsd], |cfg, v| {
                 cfg.gen.timeline.sav_reduction = v;
             })
+            .unwrap()
         };
         let a = run_once();
         let b = run_once();
-        assert_eq!(a[0].observations, b[0].observations);
-        assert_eq!(a[0].change_4y, b[0].change_4y);
+        assert_eq!(a.outcomes[0].observations, b.outcomes[0].observations);
+        assert_eq!(a.outcomes[0].change_4y, b.outcomes[0].change_4y);
+    }
+
+    #[test]
+    fn invalid_grid_point_is_skipped_not_fatal() {
+        // sav_reduction = 1.5 violates the [0, 1] invariant; the sweep
+        // must keep the valid point and record the bad one.
+        let values = [0.2, 1.5];
+        let report = sweep(&tiny_base(), &values, &[ObsId::AmpPot], |cfg, v| {
+            cfg.gen.timeline.sav_reduction = v;
+        })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].value, 0.2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].value, 1.5);
+        assert!(matches!(
+            report.skipped[0].error,
+            Error::Config { field: "gen.timeline.sav_reduction", .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_base_is_an_error() {
+        let mut base = tiny_base();
+        base.gen.timeline.noise_sigma = f64::NAN;
+        let err = sweep(&base, &[0.0], &[ObsId::Ucsd], |_, _| {}).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(matches!(
+            err,
+            Error::Config { field: "gen.timeline.noise_sigma", .. }
+        ));
     }
 }

@@ -185,8 +185,8 @@ pub fn classify_blackholed_traffic(packets: &[PacketEvent], cfg: &IxpConfig) -> 
         return None;
     }
     let amp_ports: HashSet<u16> = AmpVector::ALL.iter().map(|v| v.src_port()).collect();
-    let t_min = packets.iter().map(|p| p.time.0).min().unwrap();
-    let t_max = packets.iter().map(|p| p.time.0).max().unwrap();
+    let t_min = packets.iter().map(|p| p.time.0).min().unwrap_or(0);
+    let t_max = packets.iter().map(|p| p.time.0).max().unwrap_or(0);
     let span = (t_max - t_min).max(1) as f64;
 
     let mut udp_amp_srcs: HashMap<netmodel::Ipv4, ()> = HashMap::new();

@@ -172,7 +172,9 @@ impl HoneypotDetector {
             }
         }
         for key in expired {
-            let flow = self.flows.remove(&key).unwrap();
+            let Some(flow) = self.flows.remove(&key) else {
+                continue;
+            };
             if let Some(mode) = self.qualifies(&flow) {
                 self.finished.push(HoneypotFlow {
                     key,
@@ -192,7 +194,9 @@ impl HoneypotDetector {
     pub fn finish(mut self) -> Vec<HoneypotFlow> {
         let keys: Vec<HpFlowKey> = self.flows.keys().copied().collect();
         for key in keys {
-            let flow = self.flows.remove(&key).unwrap();
+            let Some(flow) = self.flows.remove(&key) else {
+                continue;
+            };
             if let Some(mode) = self.qualifies(&flow) {
                 self.finished.push(HoneypotFlow {
                     key,

@@ -179,7 +179,7 @@ impl BlockAllocator {
             "224.0.0.0/3",
         ]
         .iter()
-        .map(|s| s.parse().unwrap())
+        .map(|s| s.parse().expect("static reserved-prefix literal"))
         .collect();
         BlockAllocator {
             cursor: 1u64 << 24, // start at 1.0.0.0
@@ -377,7 +377,9 @@ impl InternetPlan {
                 let mut used = HashSet::new();
                 while out.len() < count {
                     let asn = *rng.choose(&tail_asns);
-                    let rec = registry.get(asn).unwrap();
+                    let rec = registry
+                        .get(asn)
+                        .expect("tail ASN drawn from the registry itself");
                     let p = *rng.choose(&rec.prefixes);
                     let ip = p.nth(rng.u64_below(p.size()));
                     if used.insert(ip) {

@@ -211,9 +211,19 @@ impl Registry {
         Registry::default()
     }
 
+    /// Acquire the instrument table. A poisoned mutex (a panic while a
+    /// holder had the lock) is recovered rather than propagated —
+    /// telemetry is a side channel and must never take the study down
+    /// with it; the atomics inside each instrument stay consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Instruments> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         Arc::clone(
             inner
                 .counters
@@ -224,7 +234,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         Arc::clone(
             inner
                 .gauges
@@ -237,7 +247,7 @@ impl Registry {
     /// Later callers get the existing instrument; bounds are fixed at
     /// creation.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         Arc::clone(
             inner
                 .histograms
@@ -248,7 +258,7 @@ impl Registry {
 
     /// A deterministic copy of every instrument's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -281,7 +291,7 @@ impl Registry {
     /// Zero every instrument (names and bounds survive). Used by the
     /// CLI between runs so one manifest describes one run.
     pub fn reset(&self) {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         inner.counters.values().for_each(|c| c.reset());
         inner.gauges.values().for_each(|g| g.reset());
         inner.histograms.values().for_each(|h| h.reset());

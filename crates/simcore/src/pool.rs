@@ -119,7 +119,10 @@ impl ExecPool {
                         let Some(chunk) = chunks.get(idx) else { break };
                         local.push((idx, f(idx, chunk)));
                     }
-                    collected.lock().unwrap().extend(local);
+                    collected
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .extend(local);
                     slot.store(watch.elapsed_ns() as usize, Ordering::Relaxed);
                 });
             }
@@ -136,7 +139,9 @@ impl ExecPool {
             }
         }
 
-        let mut tagged = collected.into_inner().unwrap();
+        let mut tagged = collected
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         tagged.sort_unstable_by_key(|(idx, _)| *idx);
         debug_assert_eq!(tagged.len(), chunks.len());
         tagged.into_iter().map(|(_, r)| r).collect()

@@ -203,7 +203,9 @@ impl RsdosDetector {
     pub fn finish(mut self) -> Vec<RsdosAttack> {
         let keys: Vec<FlowKey> = self.flows.keys().copied().collect();
         for key in keys {
-            let flow = self.flows.remove(&key).unwrap();
+            let Some(flow) = self.flows.remove(&key) else {
+                continue;
+            };
             if flow.thresholds_met {
                 self.finished.push(RsdosAttack {
                     key,

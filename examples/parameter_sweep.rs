@@ -24,11 +24,12 @@ fn main() {
     println!(
         "Sweeping SAV-driven spoofed-volume reduction (paper calibration: 0.38)\n"
     );
-    let outcomes = sweep(&base, &grid, &observatories, |cfg, v| {
+    let report = sweep(&base, &grid, &observatories, |cfg, v| {
         cfg.gen.timeline.sav_reduction = v;
-    });
+    })
+    .expect("the quick() base config is valid");
     println!("{:>10} {:>14} {:>8} {:>12}  trend", "sav", "observatory", "attacks", "change/4y");
-    for o in &outcomes {
+    for o in &report.outcomes {
         println!(
             "{:>10.2} {:>14} {:>8} {:>+11.2}%  {}",
             o.value,

@@ -1,5 +1,5 @@
 //! Source lint wired into the test suite (mirrors `tools/lint.sh`),
-//! three rules:
+//! four rules:
 //!
 //! 1. No wall-clock or OS-entropy primitives anywhere in simulation
 //!    code: every stochastic draw must fork from the study seed and
@@ -12,6 +12,13 @@
 //! 3. Library sources never print: stdout is reserved for
 //!    machine-readable output and stderr goes through the leveled
 //!    `obs` logger. Allowlist: the CLI binary and the logger itself.
+//! 4. Library sources never call bare unwrap (DESIGN.md §6): failure
+//!    paths return the typed `ddoscovery::Error`, degrade to
+//!    `None`/NaN, or justify an impossible failure with
+//!    `expect("why")`. This also bans the NaN-panicking
+//!    `partial_cmp(..)` + unwrap comparator idiom — use `total_cmp`.
+//!    Only lines before a file's first test-module marker are in
+//!    scope; tests and benches may unwrap freely.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -42,9 +49,14 @@ struct Rule {
     dirs: &'static [&'static str],
     /// Returns true when the repo-relative path is exempt.
     allow: fn(&str) -> bool,
+    /// Stop scanning each file at its first test-module marker —
+    /// inline `mod tests` blocks are not library code.
+    library_lines_only: bool,
 }
 
 fn scan(root: &Path, rule: &Rule) -> Vec<String> {
+    // Built by concatenation so this file passes its own scan.
+    let test_marker = ["#[cfg(te", "st)]"].concat();
     let mut files = Vec::new();
     for dir in rule.dirs {
         rust_sources(&root.join(dir), &mut files);
@@ -61,6 +73,9 @@ fn scan(root: &Path, rule: &Rule) -> Vec<String> {
         }
         let Ok(text) = fs::read_to_string(file) else { continue };
         for (lineno, line) in text.lines().enumerate() {
+            if rule.library_lines_only && line.contains(test_marker.as_str()) {
+                break;
+            }
             for pat in &rule.patterns {
                 if line.contains(pat.as_str()) {
                     violations.push(format!(
@@ -96,12 +111,14 @@ fn repo_lint_rules_hold() {
             patterns: vec![["thread_", "rng"].concat(), ["System", "Time"].concat()],
             dirs: &["crates", "src", "examples", "tests"],
             allow: |_| false,
+            library_lines_only: false,
         },
         Rule {
             name: "wall-clock timing outside crates/obs",
             patterns: vec![["Inst", "ant"].concat()],
             dirs: &["crates", "src", "tests"],
             allow: |rel| rel.starts_with("crates/obs/") || rel.starts_with("crates/core/src/bin/"),
+            library_lines_only: false,
         },
         Rule {
             name: "raw print in library code",
@@ -114,6 +131,16 @@ fn repo_lint_rules_hold() {
                     || rel.starts_with("crates/core/src/bin/")
                     || rel == "crates/obs/src/log.rs"
             },
+            library_lines_only: false,
+        },
+        Rule {
+            name: "bare unwrap in library code",
+            patterns: vec![[".unwr", "ap()"].concat()],
+            dirs: &["crates", "src"],
+            // Same library scope as the print rule; the CLI binary is
+            // NOT exempt here — its failure paths carry exit codes.
+            allow: |rel| !(rel.starts_with("src/") || rel.contains("/src/")),
+            library_lines_only: true,
         },
     ];
 

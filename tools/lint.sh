@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo lint, three rules (mirrored by tests/repo_lint.rs):
+# Repo lint, four rules (mirrored by tests/repo_lint.rs):
 #
 # 1. No wall-clock or OS-entropy primitives in simulation code. The
 #    reproducibility contract (DESIGN.md §4) requires every stochastic
@@ -19,6 +19,15 @@
 #    (crates/core/src/bin/), examples/, and the logger implementation
 #    itself (crates/obs/src/log.rs). Tests and benches are not
 #    libraries and may print.
+#
+# 4. Library code never calls bare `.unwrap()` (DESIGN.md §6): failure
+#    paths either return the typed `ddoscovery::Error`, degrade to
+#    `None`/NaN, or — when an invariant genuinely cannot fail — use
+#    `.expect("why this holds")` so the justification is in the source.
+#    This covers the `partial_cmp(..).unwrap()` NaN-panic family too.
+#    Scope: lines before the first `#[cfg(test)]` of each file under a
+#    src/ directory; test modules, tests/, benches, and examples are
+#    not library code and may unwrap freely.
 #
 # Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
@@ -49,7 +58,18 @@ if grep -rnE 'e?println!' crates src --include='*.rs' 2>/dev/null \
     fail=1
 fi
 
+unwrap_hits=$(
+    find crates/*/src src -name '*.rs' 2>/dev/null | while IFS= read -r f; do
+        awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME":"FNR": "$0}' "$f"
+    done
+)
+if [ -n "$unwrap_hits" ]; then
+    printf '%s\n' "$unwrap_hits"
+    echo "lint: bare .unwrap() in library code (return ddoscovery::Error, degrade to None/NaN, or .expect(\"why\"))" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (determinism primitives, wall-clock confinement, print discipline)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap)"
