@@ -1,4 +1,4 @@
-.PHONY: build test lint bench telemetry
+.PHONY: build test lint bench bench-json check telemetry
 
 build:
 	cargo build --release
@@ -13,6 +13,18 @@ lint:
 
 bench:
 	cargo bench --workspace
+
+# Bench trajectory: the end-to-end pipeline Criterion group plus the
+# cached-vs-cold sweep benchmark, which writes BENCH_sweep.json
+# (median ns per grid point and warm stage-cache hit rates).
+bench-json:
+	cargo bench -p ddoscovery-bench --bench pipeline
+	cargo bench -p ddoscovery-bench --bench sweep
+
+# Everything `test` gates on, plus a compile-only smoke of every bench
+# target so bench drift cannot rot outside the tier-1 path.
+check: test
+	cargo bench --workspace --no-run
 
 # Quick-scale instrumented run: emits telemetry.json (run manifest with
 # per-stage latency histograms, per-observatory counts, and pool

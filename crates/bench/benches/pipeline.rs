@@ -12,7 +12,11 @@ use simcore::{ExecPool, SimRng};
 use std::hint::black_box;
 
 fn quick_cfg() -> StudyConfig {
-    StudyConfig::quick()
+    let mut cfg = StudyConfig::quick();
+    // These groups measure real recomputation; the cross-run stage
+    // cache has its own cached-vs-cold benchmark (benches/sweep.rs).
+    cfg.stage_cache = Some(0);
+    cfg
 }
 
 fn bench_generate(c: &mut Criterion) {

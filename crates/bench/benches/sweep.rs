@@ -1,0 +1,113 @@
+//! Cached-vs-cold sweep benchmark (DESIGN.md §7): times an
+//! observation-parameter sweep with the cross-run stage cache bypassed
+//! (cold — every grid point rebuilds the plan and regenerates attacks)
+//! against the same sweep served from a primed cache (warm — only the
+//! observation stage runs, and repeat grids are pure hits), and writes
+//! the medians plus stage hit rates to `BENCH_sweep.json`.
+//!
+//! Plain `main` (harness = false): the cold/warm phases need exclusive
+//! control over the process-global stage cache and counters, which the
+//! Criterion group layout doesn't guarantee.
+
+use ddoscovery::stagecache::{Stage, StageCache, StageStats};
+use ddoscovery::sweep::sweep;
+use ddoscovery::{ObsId, StudyConfig};
+
+/// Observation-side grid: `obs.carpet_gap_secs` values. Swept on the
+/// observation stage only, so a warm cache skips plan + generation at
+/// every point.
+const GRID: [f64; 6] = [600.0, 1200.0, 1800.0, 2400.0, 3000.0, 4200.0];
+const REPS: usize = 5;
+
+fn base(stage_cache: usize) -> StudyConfig {
+    let mut cfg = StudyConfig::quick();
+    cfg.seed = 0xBE_5EED;
+    cfg.gen.timeline.dp_base_per_week = 25.0;
+    cfg.gen.timeline.ra_base_per_week = 40.0;
+    cfg.gen.random_campaign_count = 0;
+    cfg.gen.campaign_rate_scale = 0.0;
+    cfg.missing_data = false;
+    cfg.stage_cache = Some(stage_cache);
+    cfg
+}
+
+/// One full sweep over the grid; returns elapsed nanoseconds.
+fn timed_sweep(cfg: &StudyConfig) -> u64 {
+    let watch = obs::Stopwatch::start();
+    let report = sweep(cfg, &GRID, &[ObsId::Hopscotch, ObsId::AmpPot], |c, v| {
+        c.obs.carpet_gap_secs = v as u32;
+    })
+    .expect("bench base config is valid");
+    assert_eq!(report.outcomes.len(), GRID.len() * 2);
+    watch.elapsed_ns()
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn stats() -> [(Stage, StageStats); 3] {
+    let cache = StageCache::global();
+    [Stage::Plan, Stage::Attacks, Stage::Observations].map(|s| (s, cache.stats(s)))
+}
+
+fn main() {
+    // Cold: cache bypassed — every grid point recomputes all stages.
+    let cold_cfg = base(0);
+    let cold: Vec<u64> = (0..REPS).map(|_| timed_sweep(&cold_cfg)).collect();
+
+    // Warm: prime the cache with one sweep, then measure sweeps served
+    // from it (plan + attacks + observations are all hits).
+    let warm_cfg = base(512);
+    let _prime = timed_sweep(&warm_cfg);
+    let before = stats();
+    let warm: Vec<u64> = (0..REPS).map(|_| timed_sweep(&warm_cfg)).collect();
+    let after = stats();
+
+    let points = GRID.len() as u64;
+    let cold_ns_per_point = median(cold) / points;
+    let warm_ns_per_point = median(warm) / points;
+    let speedup = cold_ns_per_point as f64 / warm_ns_per_point.max(1) as f64;
+
+    let hit_rates: Vec<(String, f64)> = before
+        .iter()
+        .zip(after.iter())
+        .map(|((stage, b), (_, a))| {
+            let hit = a.hit - b.hit;
+            let computed = a.computed - b.computed;
+            let rate = if hit + computed == 0 {
+                1.0
+            } else {
+                hit as f64 / (hit + computed) as f64
+            };
+            (stage.name().to_string(), rate)
+        })
+        .collect();
+
+    let json = serde_json::to_string_pretty(&serde::Value::Object(vec![
+        ("benchmark".into(), serde::Value::Str("sweep_cached_vs_cold".into())),
+        ("grid_points".into(), serde::Value::UInt(points)),
+        ("reps".into(), serde::Value::UInt(REPS as u64)),
+        ("cold_median_ns_per_point".into(), serde::Value::UInt(cold_ns_per_point)),
+        ("warm_median_ns_per_point".into(), serde::Value::UInt(warm_ns_per_point)),
+        ("speedup".into(), serde::Value::Float(speedup)),
+        (
+            "warm_hit_rates".into(),
+            serde::Value::Object(
+                hit_rates
+                    .into_iter()
+                    .map(|(name, rate)| (name, serde::Value::Float(rate)))
+                    .collect(),
+            ),
+        ),
+    ]))
+    .expect("bench summary serialization is infallible");
+
+    std::fs::write("BENCH_sweep.json", &json).expect("cannot write BENCH_sweep.json");
+    println!("{json}");
+    println!(
+        "sweep: cold {cold_ns_per_point} ns/point, warm {warm_ns_per_point} ns/point \
+         ({speedup:.1}x) -> BENCH_sweep.json"
+    );
+}

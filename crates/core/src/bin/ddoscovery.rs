@@ -40,7 +40,11 @@ fn usage() -> ExitCode {
          \u{20}                     for every setting)\n\
          \u{20}  --telemetry PATH   write a JSON run manifest to PATH and\n\
          \u{20}                     print a summary table on stderr (env:\n\
-         \u{20}                     DDOSCOVERY_TELEMETRY)\n\n\
+         \u{20}                     DDOSCOVERY_TELEMETRY)\n\
+         \u{20}  --stage-cache V    cross-run stage cache: `off` to bypass,\n\
+         \u{20}                     or an entry bound N (wins over\n\
+         \u{20}                     DDOSCOVERY_STAGE_CACHE; output is\n\
+         \u{20}                     identical for every setting)\n\n\
          exit codes:\n\
          \u{20}  0  success\n\
          \u{20}  1  runtime failure (I/O, analytics)\n\
@@ -69,7 +73,18 @@ struct Options {
     out: String,
     workers: Option<usize>,
     telemetry: Option<String>,
+    stage_cache: Option<usize>,
     ids: Vec<String>,
+}
+
+/// Parse a `--stage-cache` value: `off` (any case) or `0` bypasses the
+/// cache, an integer bounds it.
+fn parse_stage_cache(v: &str) -> Result<usize, String> {
+    if v.eq_ignore_ascii_case("off") {
+        return Ok(0);
+    }
+    v.parse()
+        .map_err(|_| format!("bad stage-cache value {v:?} (expected `off` or an entry count)"))
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -79,6 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out: "results".into(),
         workers: None,
         telemetry: None,
+        stage_cache: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -100,6 +116,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--telemetry" => {
                 opts.telemetry = Some(it.next().ok_or("--telemetry needs a value")?.clone());
+            }
+            "--stage-cache" => {
+                let v = it.next().ok_or("--stage-cache needs a value")?;
+                opts.stage_cache = Some(parse_stage_cache(v)?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -133,6 +153,11 @@ fn build_config(opts: &Options) -> StudyConfig {
     if opts.workers.is_some() {
         cfg.workers = opts.workers;
     }
+    // Same precedence story as --workers: a pinned bound bypasses the
+    // DDOSCOVERY_STAGE_CACHE fallback in `stagecache::resolve_bound`.
+    if opts.stage_cache.is_some() {
+        cfg.stage_cache = opts.stage_cache;
+    }
     cfg
 }
 
@@ -157,6 +182,7 @@ fn emit_telemetry(opts: &Options, cfg: &StudyConfig) -> Result<(), String> {
         seed: cfg.seed,
         workers: cfg.workers,
         config_hash: obs::manifest::fnv1a(config_json.as_bytes()),
+        stages: ddoscovery::StageFingerprints::of(cfg).manifest_entries(),
     });
     fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     obs::log::raw_stderr(manifest.summary_table().trim_end());
@@ -360,6 +386,19 @@ mod tests {
         let opts = parse(&[]).unwrap();
         let cfg = build_config(&opts);
         assert_eq!(cfg.workers, None);
+    }
+
+    #[test]
+    fn stage_cache_flag_parses() {
+        assert_eq!(parse(&["--stage-cache", "off"]).unwrap().stage_cache, Some(0));
+        assert_eq!(parse(&["--stage-cache", "OFF"]).unwrap().stage_cache, Some(0));
+        assert_eq!(parse(&["--stage-cache", "64"]).unwrap().stage_cache, Some(64));
+        assert!(parse(&["--stage-cache", "some"]).is_err());
+        assert!(parse(&["--stage-cache"]).is_err());
+        // The flag lands in the config, where it wins over the env var.
+        let cfg = build_config(&parse(&["--quick", "--stage-cache", "off"]).unwrap());
+        assert_eq!(cfg.stage_cache, Some(0));
+        assert_eq!(ddoscovery::stagecache::resolve_bound(&cfg), 0);
     }
 
     #[test]

@@ -247,7 +247,7 @@ pub fn interference(run: &StudyRun) -> ExperimentResult {
         ] {
             let mut baseline = 0usize;
             let mut mitigated = 0usize;
-            for a in &run.attacks {
+            for a in run.attacks.iter() {
                 if a.class != attackgen::AttackClass::DirectPathSpoofed {
                     continue;
                 }

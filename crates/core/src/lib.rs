@@ -7,10 +7,12 @@ pub mod experiments;
 pub mod pipeline;
 pub mod render;
 pub mod scenario;
+pub mod stagecache;
 pub mod sweep;
 
 pub use error::{Error, Result};
 pub use experiments::{all_ids, run_all, run_experiment, ExperimentResult};
 pub use pipeline::{ObsId, StudyRun};
 pub use scenario::StudyConfig;
+pub use stagecache::{StageCache, StageFingerprints};
 pub use sweep::{SweepOutcome, SweepReport, SweepSkip};

@@ -1,0 +1,711 @@
+//! Content-addressed cross-run stage cache (DESIGN.md §7).
+//!
+//! [`crate::StudyRun::execute_on`] is an explicit three-stage
+//! dataflow — `plan` → `attacks` → per-observatory `observations` —
+//! and each stage output is a pure function of a *subset* of the
+//! [`StudyConfig`] plus the outputs of earlier stages. This module
+//! keys each stage by an FNV-1a fingerprint of exactly those inputs
+//! and memoizes the outputs process-wide, so a parameter sweep (or any
+//! repeated `try_execute`) recomputes only the stages whose inputs
+//! actually changed: an observation-side sweep skips plan building and
+//! attack generation entirely, and a `gen.timeline` sweep reuses the
+//! Internet plan at every grid point.
+//!
+//! **Correctness invariant:** cached output is byte-identical to
+//! recomputed output. That holds because (a) every stage is
+//! deterministic in its fingerprinted inputs (the execution engine's
+//! worker-invariance contract, DESIGN.md §4), and (b) the fingerprint
+//! covers *all* inputs: the field inventory below assigns every
+//! `StudyConfig` field to exactly one stage class, and a unit test
+//! fails if a field is added without being classified — a new knob can
+//! never silently alias two different scenarios onto one cache key.
+//!
+//! The cache is bounded (LRU over filled entries, default
+//! [`DEFAULT_BOUND`]), thread-safe, and coalescing: concurrent misses
+//! on the same key block on one compute instead of duplicating it.
+//! Telemetry lands in the global `obs` registry as
+//! `stage.<plan|attacks|observations>.{hit,computed,evicted}` and
+//! therefore in every run manifest.
+
+use crate::pipeline::ObsId;
+use crate::scenario::StudyConfig;
+use attackgen::{Attack, ObservedAttack};
+use flowmon::NetscoutAlert;
+use netmodel::InternetPlan;
+use obs::manifest::Fnv;
+use obs::metrics::Counter;
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default stage-cache bound, in entries. One full study run occupies
+/// 14 entries (1 plan + 1 attack stream + 11 observation streams + the
+/// Netscout alert stream), so the default comfortably covers a
+/// ~18-point sweep's working set.
+pub const DEFAULT_BOUND: usize = 256;
+
+/// Environment variable controlling the stage cache when
+/// [`StudyConfig::stage_cache`] is `None`: `off` (or `0`) disables it,
+/// an integer sets the entry bound.
+pub const STAGE_CACHE_ENV: &str = "DDOSCOVERY_STAGE_CACHE";
+
+/// Resolve the effective cache bound for a config: the config knob
+/// wins, then [`STAGE_CACHE_ENV`], then [`DEFAULT_BOUND`]. `0` means
+/// "bypass the cache".
+pub fn resolve_bound(config: &StudyConfig) -> usize {
+    if let Some(n) = config.stage_cache {
+        return n;
+    }
+    if let Ok(v) = std::env::var(STAGE_CACHE_ENV) {
+        let v = v.trim();
+        if v.eq_ignore_ascii_case("off") {
+            return 0;
+        }
+        if let Ok(n) = v.parse::<usize>() {
+            return n;
+        }
+    }
+    DEFAULT_BOUND
+}
+
+// ---------------------------------------------------------------------
+// Field inventory: every top-level StudyConfig field, classified.
+// ---------------------------------------------------------------------
+
+/// Stage classes a config field can feed. `plan`/`attacks`/
+/// `observations` fields enter the corresponding fingerprint (and,
+/// transitively, every downstream one); `projection` fields only shape
+/// per-run projections computed *after* the cached stages (weekly-gap
+/// masking); `execution` fields cannot change any output byte (worker
+/// count, the cache bound itself).
+pub const STAGE_CLASSES: [&str; 5] =
+    ["plan", "attacks", "observations", "projection", "execution"];
+
+/// The classification: `(serialized field name, stage class)`. Must
+/// list every top-level [`StudyConfig`] field exactly once —
+/// `field_inventory_is_exhaustive` fails otherwise, which is the
+/// guard against silent cache poisoning when a field is added.
+pub const FIELD_STAGES: &[(&str, &str)] = &[
+    ("seed", "plan"),
+    ("net", "plan"),
+    ("gen", "attacks"),
+    ("obs", "observations"),
+    ("missing_data", "projection"),
+    ("workers", "execution"),
+    ("stage_cache", "execution"),
+];
+
+/// Fold the serialized values of every field in `class` into `h`, in
+/// inventory order. Hashing the serialized JSON keeps the fingerprint
+/// sensitive to every nested knob (a new field inside `NetScale` or
+/// `GenConfig` changes its parent's serialization and therefore the
+/// fingerprint) without any per-field bookkeeping below the top level.
+fn fold_class(h: &mut Fnv, config_value: &Value, class: &str) {
+    for (field, stage) in FIELD_STAGES {
+        if *stage != class {
+            continue;
+        }
+        let v = config_value.get(field).unwrap_or(&Value::Null);
+        let json = serde_json::to_string(v).expect("Value serialization is infallible");
+        h.write(field.as_bytes()).write(b"=").write(json.as_bytes()).write(b";");
+    }
+}
+
+/// Per-stage scenario fingerprints of one [`StudyConfig`]. Each stage
+/// hash chains its upstream stage's hash, so invalidation flows down
+/// the dataflow: a `net` change re-keys everything, a `gen` change
+/// re-keys attacks + observations but leaves the plan key intact, an
+/// `obs` change re-keys only the observation streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFingerprints {
+    /// Key of the Internet plan: `seed` + `net`.
+    pub plan: u64,
+    /// Key of the ground-truth attack stream: plan key + `gen`.
+    pub attacks: u64,
+    /// Keys of the eleven final observation streams, indexed by
+    /// [`ObsId::index`]: attacks key + `obs` + the observatory slug.
+    pub observations: [u64; 11],
+    /// Key of the raw Netscout alert stream (the §7.2 baseline input).
+    pub netscout_alerts: u64,
+}
+
+impl StageFingerprints {
+    /// Compute every stage fingerprint of `config`.
+    pub fn of(config: &StudyConfig) -> StageFingerprints {
+        let value =
+            serde_json::to_value(config).expect("StudyConfig serialization is infallible");
+
+        let mut h = Fnv::new();
+        h.write(b"stage.plan\0");
+        fold_class(&mut h, &value, "plan");
+        let plan = h.finish();
+
+        let mut h = Fnv::new();
+        h.write(b"stage.attacks\0").write_u64(plan);
+        fold_class(&mut h, &value, "attacks");
+        let attacks = h.finish();
+
+        let obs_key = |slug: &str| {
+            let mut h = Fnv::new();
+            h.write(b"stage.observations\0").write_u64(attacks);
+            fold_class(&mut h, &value, "observations");
+            h.write(slug.as_bytes());
+            h.finish()
+        };
+        let mut observations = [0u64; 11];
+        for id in ObsId::ALL {
+            observations[id.index()] = obs_key(id.slug());
+        }
+        let netscout_alerts = obs_key("netscout_alerts");
+
+        StageFingerprints {
+            plan,
+            attacks,
+            observations,
+            netscout_alerts,
+        }
+    }
+
+    /// The observation-stream key of one observatory.
+    pub fn observation(&self, id: ObsId) -> u64 {
+        self.observations[id.index()]
+    }
+
+    /// Manifest entries (`run.stages` in the telemetry JSON): the plan
+    /// and attack keys verbatim plus one hash folding all observation
+    /// keys.
+    pub fn manifest_entries(&self) -> Vec<(String, u64)> {
+        let mut h = Fnv::new();
+        for fp in self.observations {
+            h.write_u64(fp);
+        }
+        h.write_u64(self.netscout_alerts);
+        vec![
+            ("plan".to_string(), self.plan),
+            ("attacks".to_string(), self.attacks),
+            ("observations".to_string(), h.finish()),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cache proper.
+// ---------------------------------------------------------------------
+
+/// Which stage a cache entry (or counter) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Plan,
+    Attacks,
+    Observations,
+}
+
+impl Stage {
+    const ALL: [Stage; 3] = [Stage::Plan, Stage::Attacks, Stage::Observations];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Plan => "plan",
+            Stage::Attacks => "attacks",
+            Stage::Observations => "observations",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Stage::Plan => 0,
+            Stage::Attacks => 1,
+            Stage::Observations => 2,
+        }
+    }
+}
+
+/// A cached stage output. Observation streams and the Netscout alert
+/// stream are separate variants of the same stage class.
+#[derive(Clone)]
+enum StageValue {
+    Plan(Arc<InternetPlan>),
+    Attacks(Arc<[Attack]>),
+    Observations(Arc<Vec<ObservedAttack>>),
+    Alerts(Arc<Vec<NetscoutAlert>>),
+}
+
+impl StageValue {
+    fn stage(&self) -> Stage {
+        match self {
+            StageValue::Plan(_) => Stage::Plan,
+            StageValue::Attacks(_) => Stage::Attacks,
+            StageValue::Observations(_) | StageValue::Alerts(_) => Stage::Observations,
+        }
+    }
+}
+
+/// One cache slot: the value cell plus its LRU stamp. The cell is
+/// shared out under `Arc` so a compute can run *outside* the map lock
+/// while concurrent same-key callers block on the `OnceLock` instead
+/// of duplicating the work.
+struct Slot {
+    cell: Arc<OnceLock<StageValue>>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Slot>,
+    tick: u64,
+}
+
+/// Per-stage hit/computed/evicted counts, for tests and diagnostics.
+/// `computed` counts stage *executions* (it advances even when the
+/// cache is bypassed); `hit` counts lookups served from cache;
+/// `evicted` counts entries dropped by the LRU bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    pub hit: u64,
+    pub computed: u64,
+    pub evicted: u64,
+}
+
+/// The bounded, thread-safe, in-process stage cache.
+pub struct StageCache {
+    inner: Mutex<Inner>,
+    hit: [Arc<Counter>; 3],
+    computed: [Arc<Counter>; 3],
+    evicted: [Arc<Counter>; 3],
+}
+
+impl StageCache {
+    fn new() -> StageCache {
+        let handle = |kind: &str, stage: Stage| {
+            obs::metrics::counter(&format!("stage.{}.{kind}", stage.name()))
+        };
+        StageCache {
+            inner: Mutex::new(Inner::default()),
+            hit: Stage::ALL.map(|s| handle("hit", s)),
+            computed: Stage::ALL.map(|s| handle("computed", s)),
+            evicted: Stage::ALL.map(|s| handle("evicted", s)),
+        }
+    }
+
+    /// A cache with private (non-registry) counters: unit tests use
+    /// this so concurrently-running tests cannot contaminate each
+    /// other's counts through the shared global registry.
+    #[cfg(test)]
+    fn isolated() -> StageCache {
+        let fresh = || Stage::ALL.map(|_| Arc::new(Counter::new()));
+        StageCache {
+            inner: Mutex::new(Inner::default()),
+            hit: fresh(),
+            computed: fresh(),
+            evicted: fresh(),
+        }
+    }
+
+    /// The process-wide cache every [`crate::StudyRun`] executes
+    /// against.
+    pub fn global() -> &'static StageCache {
+        static GLOBAL: OnceLock<StageCache> = OnceLock::new();
+        GLOBAL.get_or_init(StageCache::new)
+    }
+
+    /// Counter values of one stage (process-cumulative).
+    pub fn stats(&self, stage: Stage) -> StageStats {
+        let i = stage.index();
+        StageStats {
+            hit: self.hit[i].get(),
+            computed: self.computed[i].get(),
+            evicted: self.evicted[i].get(),
+        }
+    }
+
+    /// Drop every entry (counters keep their cumulative values). For
+    /// tests and memory-pressure escape hatches; correctness never
+    /// depends on cache contents.
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Filled entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().map.values().filter(|s| s.cell.get().is_some()).count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A poisoned lock is recovered, not propagated: the cache is a
+    /// memoization side table and the `OnceLock` cells inside each
+    /// slot stay individually consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The slot for `key` (created empty if absent), plus whether it
+    /// was already filled at lookup time. Bumps the LRU stamp.
+    fn slot(&self, key: u64) -> (Arc<OnceLock<StageValue>>, bool) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.map.entry(key).or_insert_with(|| Slot {
+            cell: Arc::new(OnceLock::new()),
+            last_used: 0,
+        });
+        slot.last_used = tick;
+        (Arc::clone(&slot.cell), slot.cell.get().is_some())
+    }
+
+    /// Evict least-recently-used *filled* entries (never `protect`,
+    /// never in-flight empties) until at most `bound` remain.
+    fn enforce_bound(&self, bound: usize, protect: u64) {
+        let mut inner = self.lock();
+        loop {
+            let filled = inner
+                .map
+                .iter()
+                .filter(|(_, s)| s.cell.get().is_some())
+                .count();
+            if filled <= bound {
+                return;
+            }
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, s)| **k != protect && s.cell.get().is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { return };
+            if let Some(slot) = inner.map.remove(&victim) {
+                if let Some(v) = slot.cell.get() {
+                    self.evicted[v.stage().index()].inc();
+                }
+            }
+        }
+    }
+
+    /// Core memoization: return the cached value for `key`, computing
+    /// (and caching) it on a miss. Concurrent misses on the same key
+    /// coalesce onto one compute. `bound == 0` bypasses the cache
+    /// entirely (the compute still counts as a stage execution).
+    fn get_or_compute(
+        &self,
+        stage: Stage,
+        bound: usize,
+        key: u64,
+        compute: impl FnOnce() -> StageValue,
+    ) -> StageValue {
+        if bound == 0 {
+            self.computed[stage.index()].inc();
+            return compute();
+        }
+        let (cell, filled) = self.slot(key);
+        if filled {
+            self.hit[stage.index()].inc();
+            return cell.get().expect("filled slot has a value").clone();
+        }
+        let mut ran = false;
+        let value = cell
+            .get_or_init(|| {
+                ran = true;
+                self.computed[stage.index()].inc();
+                compute()
+            })
+            .clone();
+        if ran {
+            self.enforce_bound(bound, key);
+        } else {
+            // A concurrent computer filled the cell while we waited:
+            // served from cache as far as this caller is concerned.
+            self.hit[stage.index()].inc();
+        }
+        value
+    }
+
+    /// Lookup-only: the cached value for `key`, if present and of the
+    /// expected kind. Used by the observation stage, which computes
+    /// many entries jointly in one fan-out.
+    fn get(&self, stage: Stage, bound: usize, key: u64) -> Option<StageValue> {
+        if bound == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.map.get_mut(&key)?;
+        slot.last_used = tick;
+        let value = slot.cell.get()?.clone();
+        drop(inner);
+        self.hit[stage.index()].inc();
+        Some(value)
+    }
+
+    /// Insert a freshly computed value under `key` and enforce the
+    /// bound. Counts one stage execution.
+    fn insert(&self, stage: Stage, bound: usize, key: u64, value: StageValue) {
+        self.computed[stage.index()].inc();
+        if bound == 0 {
+            return;
+        }
+        let (cell, _) = self.slot(key);
+        // A racer may have filled the slot with (identical) content
+        // already; the first value wins and ours is dropped.
+        let _ = cell.set(value);
+        self.enforce_bound(bound, key);
+    }
+
+    /// The Internet plan for `key`, built on a miss.
+    pub fn plan(
+        &self,
+        bound: usize,
+        key: u64,
+        build: impl FnOnce() -> Arc<InternetPlan>,
+    ) -> Arc<InternetPlan> {
+        match self.get_or_compute(Stage::Plan, bound, key, || StageValue::Plan(build())) {
+            StageValue::Plan(p) => p,
+            _ => unreachable!("plan key resolved to a non-plan stage value"),
+        }
+    }
+
+    /// The attack stream for `key`, generated on a miss.
+    pub fn attacks(
+        &self,
+        bound: usize,
+        key: u64,
+        generate: impl FnOnce() -> Arc<[Attack]>,
+    ) -> Arc<[Attack]> {
+        match self.get_or_compute(Stage::Attacks, bound, key, || StageValue::Attacks(generate()))
+        {
+            StageValue::Attacks(a) => a,
+            _ => unreachable!("attacks key resolved to a non-attacks stage value"),
+        }
+    }
+
+    /// Cached observation stream for `key`, if any.
+    pub fn get_observations(&self, bound: usize, key: u64) -> Option<Arc<Vec<ObservedAttack>>> {
+        match self.get(Stage::Observations, bound, key)? {
+            StageValue::Observations(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Cached Netscout alert stream for `key`, if any.
+    pub fn get_alerts(&self, bound: usize, key: u64) -> Option<Arc<Vec<NetscoutAlert>>> {
+        match self.get(Stage::Observations, bound, key)? {
+            StageValue::Alerts(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Store a freshly observed stream.
+    pub fn insert_observations(&self, bound: usize, key: u64, v: Arc<Vec<ObservedAttack>>) {
+        self.insert(Stage::Observations, bound, key, StageValue::Observations(v));
+    }
+
+    /// Store a freshly computed Netscout alert stream.
+    pub fn insert_alerts(&self, bound: usize, key: u64, v: Arc<Vec<NetscoutAlert>>) {
+        self.insert(Stage::Observations, bound, key, StageValue::Alerts(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// THE guard against silent cache poisoning: every top-level
+    /// `StudyConfig` field must be classified in `FIELD_STAGES`, and
+    /// every classified field must exist. Adding a config field
+    /// without deciding which stage it invalidates fails here.
+    #[test]
+    fn field_inventory_is_exhaustive() {
+        let value = serde_json::to_value(&StudyConfig::default()).unwrap();
+        let Value::Object(fields) = &value else {
+            panic!("StudyConfig must serialize to an object")
+        };
+        let serialized: BTreeSet<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        let classified: BTreeSet<&str> = FIELD_STAGES.iter().map(|(f, _)| *f).collect();
+        assert_eq!(
+            classified.len(),
+            FIELD_STAGES.len(),
+            "a field is classified twice in FIELD_STAGES"
+        );
+        let unclassified: Vec<&&str> = serialized.difference(&classified).collect();
+        assert!(
+            unclassified.is_empty(),
+            "StudyConfig field(s) {unclassified:?} not classified in \
+             stagecache::FIELD_STAGES — assign each to a stage class \
+             (plan/attacks/observations/projection/execution) or the \
+             stage cache will serve stale results when they change"
+        );
+        let phantom: Vec<&&str> = classified.difference(&serialized).collect();
+        assert!(
+            phantom.is_empty(),
+            "FIELD_STAGES classifies field(s) {phantom:?} that StudyConfig no longer has"
+        );
+        for (_, stage) in FIELD_STAGES {
+            assert!(
+                STAGE_CLASSES.contains(stage),
+                "unknown stage class {stage:?}"
+            );
+        }
+    }
+
+    /// Invalidation flows down the dataflow and never up.
+    #[test]
+    fn fingerprints_track_their_stage_inputs() {
+        let base = StageFingerprints::of(&StudyConfig::quick());
+
+        // seed / net → everything changes.
+        let mut cfg = StudyConfig::quick();
+        cfg.seed ^= 1;
+        let fp = StageFingerprints::of(&cfg);
+        assert_ne!(fp.plan, base.plan);
+        assert_ne!(fp.attacks, base.attacks);
+        assert_ne!(fp.observations, base.observations);
+
+        let mut cfg = StudyConfig::quick();
+        cfg.net.tail_as_count += 1;
+        let fp = StageFingerprints::of(&cfg);
+        assert_ne!(fp.plan, base.plan);
+        assert_ne!(fp.attacks, base.attacks);
+
+        // gen → plan key survives, attacks + observations re-key.
+        let mut cfg = StudyConfig::quick();
+        cfg.gen.timeline.sav_reduction += 0.01;
+        let fp = StageFingerprints::of(&cfg);
+        assert_eq!(fp.plan, base.plan);
+        assert_ne!(fp.attacks, base.attacks);
+        assert_ne!(fp.observations, base.observations);
+        assert_ne!(fp.netscout_alerts, base.netscout_alerts);
+
+        // obs → only the observation streams re-key.
+        let mut cfg = StudyConfig::quick();
+        cfg.obs.carpet_gap_secs += 1;
+        let fp = StageFingerprints::of(&cfg);
+        assert_eq!(fp.plan, base.plan);
+        assert_eq!(fp.attacks, base.attacks);
+        assert_ne!(fp.observations, base.observations);
+
+        // projection / execution knobs → no stage re-keys at all.
+        for poison in [
+            (|c: &mut StudyConfig| c.missing_data = !c.missing_data) as fn(&mut StudyConfig),
+            |c| c.workers = Some(7),
+            |c| c.stage_cache = Some(3),
+        ] {
+            let mut cfg = StudyConfig::quick();
+            poison(&mut cfg);
+            assert_eq!(StageFingerprints::of(&cfg), base);
+        }
+    }
+
+    #[test]
+    fn observation_keys_differ_per_stream() {
+        let fp = StageFingerprints::of(&StudyConfig::quick());
+        let mut seen = BTreeSet::new();
+        for key in fp.observations {
+            assert!(seen.insert(key), "two observation streams share a key");
+        }
+        assert!(seen.insert(fp.netscout_alerts));
+        assert_ne!(fp.plan, fp.attacks);
+    }
+
+    #[test]
+    fn manifest_entries_name_all_three_stages() {
+        let fp = StageFingerprints::of(&StudyConfig::quick());
+        let entries = fp.manifest_entries();
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["plan", "attacks", "observations"]);
+        assert_eq!(entries[0].1, fp.plan);
+        assert_eq!(entries[1].1, fp.attacks);
+    }
+
+    #[test]
+    fn bound_resolution_prefers_the_config_knob() {
+        let mut cfg = StudyConfig::quick();
+        cfg.stage_cache = Some(5);
+        assert_eq!(resolve_bound(&cfg), 5);
+        cfg.stage_cache = Some(0);
+        assert_eq!(resolve_bound(&cfg), 0);
+        // None falls back to env/default; with no env set in the test
+        // process this is the default. (Env-var behaviour is covered by
+        // the CLI subprocess tests, which control their environment.)
+        cfg.stage_cache = None;
+        if std::env::var(STAGE_CACHE_ENV).is_err() {
+            assert_eq!(resolve_bound(&cfg), DEFAULT_BOUND);
+        }
+    }
+
+    /// A private cache exercising coalescing, LRU eviction, and the
+    /// bypass bound (independent of the global one, so this test is
+    /// immune to other tests' traffic).
+    #[test]
+    fn cache_hits_evicts_and_bypasses() {
+        let cache = StageCache::isolated();
+        let make = |n: u64| -> Arc<Vec<ObservedAttack>> { Arc::new(Vec::with_capacity(n as usize)) };
+
+        // Miss then hit.
+        assert!(cache.get_observations(4, 1).is_none());
+        cache.insert_observations(4, 1, make(1));
+        let got = cache.get_observations(4, 1).expect("hit after insert");
+        assert_eq!(got.capacity(), 1);
+        assert_eq!(cache.len(), 1);
+
+        // LRU eviction at a tiny bound: key 1 is oldest once 2 and 3
+        // land and 2 gets re-touched.
+        cache.insert_observations(2, 2, make(2));
+        let _ = cache.get_observations(2, 2);
+        cache.insert_observations(2, 3, make(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_observations(2, 1).is_none(), "LRU entry must be evicted");
+        assert!(cache.get_observations(2, 2).is_some());
+        assert!(cache.get_observations(2, 3).is_some());
+        assert_eq!(cache.stats(Stage::Observations).evicted, 1);
+
+        // bound == 0 bypasses entirely.
+        cache.insert_observations(0, 9, make(9));
+        assert!(cache.get_observations(0, 9).is_none());
+        assert!(cache.get_observations(4, 9).is_none());
+
+        // get_or_compute: second call is a hit, compute runs once.
+        let mut runs = 0;
+        for _ in 0..3 {
+            let plan_like = cache.attacks(4, 77, || {
+                runs += 1;
+                Arc::from(Vec::new())
+            });
+            assert_eq!(plan_like.len(), 0);
+        }
+        assert_eq!(runs, 1, "compute must run exactly once");
+        assert_eq!(cache.stats(Stage::Attacks).computed, 1);
+        assert_eq!(cache.stats(Stage::Attacks).hit, 2);
+
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    /// Concurrent same-key misses coalesce onto one compute.
+    #[test]
+    fn concurrent_misses_coalesce() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = StageCache::isolated();
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (cache, runs) = (&cache, &runs);
+                scope.spawn(move || {
+                    let v = cache.attacks(16, 42, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        Arc::from(Vec::new())
+                    });
+                    assert_eq!(v.len(), 0);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        let stats = cache.stats(Stage::Attacks);
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.hit, 7);
+    }
+}

@@ -41,6 +41,10 @@ fn output_fingerprint(run: &StudyRun) -> Vec<u8> {
 fn output_is_byte_identical_across_telemetry_state_and_worker_counts() {
     let mut cfg = StudyConfig::quick();
     cfg.workers = Some(1);
+    // Bypass the stage cache: this test must compare actual
+    // recomputations (cache-on/off equivalence has its own invariant
+    // test in tests/stage_cache.rs).
+    cfg.stage_cache = Some(0);
 
     obs::set_enabled(true);
     let baseline = output_fingerprint(&StudyRun::execute(&cfg));
@@ -69,8 +73,12 @@ fn run_populates_registry_counters() {
     // generation tallies in the global registry (cumulative across the
     // process, so only lower bounds are asserted here; exact per-run
     // values are covered by the CLI manifest test in its own process).
+    let mut cfg = StudyConfig::quick();
+    // A stage-cache hit would (correctly) skip generation; this test is
+    // about the generation-side counters, so force a real run.
+    cfg.stage_cache = Some(0);
     let before = obs::metrics::counter("gen.attacks").get();
-    let run = StudyRun::execute(&StudyConfig::quick());
+    let run = StudyRun::execute(&cfg);
     let after = obs::metrics::counter("gen.attacks").get();
     assert!(
         after >= before + run.attacks.len() as u64,

@@ -31,6 +31,11 @@ pub struct RunInfo {
     /// git-describe-style fingerprint that changes whenever any knob
     /// does.
     pub config_hash: u64,
+    /// Per-stage scenario fingerprints (`plan`, `attacks`,
+    /// `observations`): the content-addressed keys the stage cache
+    /// executes under (DESIGN.md §7). Empty when the producer predates
+    /// the stage graph or chose not to record them.
+    pub stages: Vec<(String, u64)>,
 }
 
 /// A complete run manifest.
@@ -44,14 +49,50 @@ pub struct RunManifest {
     pub metrics: MetricsSnapshot,
 }
 
+/// Streaming FNV-1a hasher: the one fingerprint primitive of the
+/// workspace. Config fingerprints ([`fnv1a`]) and the per-stage
+/// scenario fingerprints behind the cross-run stage cache (DESIGN.md
+/// §7) all fold through this, so a fingerprint is reproducible from
+/// any crate that can name the same byte stream.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        self
+    }
+
+    /// Fold a `u64` (little-endian) into the running hash — used to
+    /// chain one stage fingerprint into the next.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv {
+        self.write(&v.to_le_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// FNV-1a over arbitrary bytes; used for config fingerprints.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
 }
 
 impl RunManifest {
@@ -222,6 +263,16 @@ impl Serialize for RunManifest {
                         },
                     ),
                     ("config_hash", Value::UInt(self.run.config_hash)),
+                    (
+                        "stages",
+                        Value::Object(
+                            self.run
+                                .stages
+                                .iter()
+                                .map(|(name, fp)| (name.clone(), Value::UInt(*fp)))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("metrics", self.metrics.to_value()),
@@ -238,6 +289,26 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn streaming_fnv_matches_oneshot_and_chains() {
+        let mut h = Fnv::new();
+        h.write(b"ab").write(b"c");
+        assert_eq!(h.finish(), fnv1a(b"abc"));
+        // write_u64 folds the little-endian bytes.
+        let mut a = Fnv::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            a.finish(),
+            fnv1a(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+        // Chained stage hashes differ from unchained ones.
+        let mut b = Fnv::new();
+        b.write(b"stage").write_u64(1);
+        let mut c = Fnv::new();
+        c.write(b"stage").write_u64(2);
+        assert_ne!(b.finish(), c.finish());
     }
 
     #[test]
@@ -263,6 +334,7 @@ mod tests {
                 seed: 0xDD05_C0DE,
                 workers: Some(4),
                 config_hash: 7,
+                stages: vec![("plan".into(), 11), ("attacks".into(), 22)],
             },
             metrics,
         };

@@ -40,7 +40,7 @@ fn main() {
     // --- Step 2: each industry partner joins locally. --------------------
     for (partner, industry_tuples) in [
         ("Netscout (baseline sample)", run.netscout_baseline_tuples().to_vec()),
-        ("Akamai (announced prefixes)", run.akamai_tuples()),
+        ("Akamai (announced prefixes)", run.akamai_tuples().to_vec()),
     ] {
         let c = confirmation_shares(&academic, &industry_tuples);
         println!("== {partner}: {} own targets ==", industry_tuples.len());

@@ -10,6 +10,10 @@ fn tiny_cfg(seed: u64) -> StudyConfig {
     cfg.gen.timeline.dp_base_per_week = 20.0;
     cfg.gen.timeline.ra_base_per_week = 30.0;
     cfg.gen.random_campaign_count = 2;
+    // Bypass the cross-run stage cache: these tests assert that
+    // *recomputation* is deterministic, which a cache hit (returning
+    // the very same `Arc`s) would make vacuous.
+    cfg.stage_cache = Some(0);
     cfg
 }
 
@@ -18,7 +22,7 @@ fn identical_seeds_identical_results() {
     let a = StudyRun::execute(&tiny_cfg(99));
     let b = StudyRun::execute(&tiny_cfg(99));
     assert_eq!(a.attacks.len(), b.attacks.len());
-    for (x, y) in a.attacks.iter().zip(&b.attacks) {
+    for (x, y) in a.attacks.iter().zip(b.attacks.iter()) {
         assert_eq!(x, y);
     }
     for id in ObsId::MAIN_TEN {
@@ -104,7 +108,7 @@ fn different_seeds_differ() {
     let same = a
         .attacks
         .iter()
-        .zip(&b.attacks)
+        .zip(b.attacks.iter())
         .filter(|(x, y)| x.targets == y.targets && x.start == y.start)
         .count();
     assert!(
@@ -124,7 +128,7 @@ fn observation_independent_of_stream_order() {
     let root = SimRng::new(cfg.seed).fork_named("observatories");
     let tele = Telescope::ucsd(&run.plan);
     let forward = tele.observe_all(&run.attacks, &root);
-    let mut reversed_attacks = run.attacks.clone();
+    let mut reversed_attacks = run.attacks.to_vec();
     reversed_attacks.reverse();
     let mut backward = tele.observe_all(&reversed_attacks, &root);
     backward.sort_by_key(|o| o.attack_id);

@@ -152,13 +152,22 @@ proptest! {
         }
 
         prop_assert!(cfg.validate().is_ok(), "fuzz base config must be valid");
+        // Three executions of the same scenario that must agree bit for
+        // bit: stage cache OFF at 1 worker, stage cache ON at 3 workers
+        // (cold), and the same cached config again (warm — every stage
+        // served from the cache). Worker count and cache state are
+        // execution knobs; neither may leak into output.
         let mut one = cfg.clone();
         one.workers = Some(1);
+        one.stage_cache = Some(0);
         let mut three = cfg.clone();
         three.workers = Some(3);
+        three.stage_cache = Some(64);
         let a = StudyRun::try_execute(&one).expect("validated config must run");
         let b = StudyRun::try_execute(&three).expect("validated config must run");
+        let c = StudyRun::try_execute(&three).expect("validated config must run");
         prop_assert_eq!(a.attacks.len(), b.attacks.len());
+        prop_assert_eq!(a.attacks.len(), c.attacks.len());
 
         // Touch every projection (they must not panic on starved data)
         // and hold the worker-count-invariance contract bit for bit.
@@ -169,16 +178,23 @@ proptest! {
             for (x, y) in wa.values.iter().zip(&wb.values) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(), "{} diverged", id.name());
             }
+            let wc = c.weekly_series(id);
+            for (x, y) in wa.values.iter().zip(&wc.values) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} cached diverged", id.name());
+            }
             let na = a.normalized_series(id);
             let nb = b.normalized_series(id);
             for (x, y) in na.values.iter().zip(&nb.values) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(), "{} normalized diverged", id.name());
             }
             prop_assert_eq!(a.target_tuples(id), b.target_tuples(id));
+            prop_assert_eq!(a.target_tuples(id), c.target_tuples(id));
             let _ = na.trend();
         }
         prop_assert_eq!(a.netscout_baseline_tuples(), b.netscout_baseline_tuples());
+        prop_assert_eq!(a.netscout_baseline_tuples(), c.netscout_baseline_tuples());
         prop_assert_eq!(a.akamai_tuples(), b.akamai_tuples());
+        prop_assert_eq!(a.akamai_tuples(), c.akamai_tuples());
     }
 }
 
