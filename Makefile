@@ -1,4 +1,4 @@
-.PHONY: build test lint bench bench-json check telemetry
+.PHONY: build test lint bench bench-json check telemetry chaos
 
 build:
 	cargo build --release
@@ -25,6 +25,15 @@ bench-json:
 # target so bench drift cannot rot outside the tier-1 path.
 check: test
 	cargo bench --workspace --no-run
+
+# Fault-injection suite under several pool widths: the chaos tests
+# assert byte-identical output across worker counts internally, and
+# re-running the whole binary with different DDOSCOVERY_WORKERS
+# defaults exercises the global-pool path the in-test pools bypass.
+chaos:
+	DDOSCOVERY_WORKERS=1 cargo test -q --release --test chaos
+	DDOSCOVERY_WORKERS=4 cargo test -q --release --test chaos
+	DDOSCOVERY_WORKERS=8 cargo test -q --release --test chaos
 
 # Quick-scale instrumented run: emits telemetry.json (run manifest with
 # per-stage latency histograms, per-observatory counts, and pool

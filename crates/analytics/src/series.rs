@@ -51,14 +51,44 @@ impl WeeklySeries {
         }
     }
 
-    /// Normalize to the median of the first `BASELINE_WEEKS` present
+    /// Mark individual weeks as missing data (outage windows arrive as
+    /// week lists from the fault plan). Out-of-range weeks are ignored.
+    pub fn mask_weeks(&mut self, weeks: &[usize]) {
+        for &w in weeks {
+            if let Some(v) = self.values.get_mut(w) {
+                *v = f64::NAN;
+            }
+        }
+    }
+
+    /// The explicit missing-week mask of this series: which week
+    /// indices hold no observed value. Every statistic in this module
+    /// treats masked weeks as *absent*, never as zero counts.
+    pub fn week_mask(&self) -> WeekMask {
+        WeekMask {
+            missing: self
+                .values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_nan())
+                .map(|(i, _)| i)
+                .collect(),
+            total: self.values.len(),
+        }
+    }
+
+    /// Normalize to the median of the first `BASELINE_WEEKS` *observed*
     /// values (§5: "normalized values to the median attack count of the
-    /// first 15 weeks"). A zero/absent baseline falls back to the median
-    /// of the whole series so the result stays finite.
+    /// first 15 weeks"). When early weeks are masked out — a reporting
+    /// gap or an injected outage — the baseline window slides past them
+    /// to the first 15 weeks that actually carry data, rather than
+    /// shrinking (which makes the median noisy) or treating gaps as
+    /// zeros (which poisons it). A zero/absent baseline falls back to
+    /// the median of the whole series so the result stays finite.
     pub fn normalize_to_baseline(&self) -> WeeklySeries {
         let baseline_values: Vec<f64> = self
             .present()
-            .take_while(|(i, _)| *i < BASELINE_WEEKS)
+            .take(BASELINE_WEEKS)
             .map(|(_, v)| v)
             .collect();
         let mut base = median(&baseline_values);
@@ -155,6 +185,41 @@ impl WeeklySeries {
             Some(c) if c < -0.05 => Trend::Decreasing,
             _ => Trend::Steady,
         }
+    }
+}
+
+/// Explicit missing-week mask of a [`WeeklySeries`]: the week indices
+/// that hold no observed value (NaN). Makes the gap structure queryable
+/// — correlation and regression already intersect present weeks
+/// pairwise, and the mask lets callers (manifests, degraded-mode
+/// reports) state *which* weeks were lost without re-deriving it from
+/// raw NaN scans.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeekMask {
+    /// Missing week indices, ascending.
+    pub missing: Vec<usize>,
+    /// Total series length in weeks.
+    pub total: usize,
+}
+
+impl WeekMask {
+    pub fn is_missing(&self, week: usize) -> bool {
+        self.missing.binary_search(&week).is_ok()
+    }
+
+    /// Number of weeks that carry data.
+    pub fn observed(&self) -> usize {
+        self.total - self.missing.len()
+    }
+
+    /// Weeks observed in *both* masks — the pairwise-complete domain
+    /// every cross-series statistic (Spearman, Pearson, lag scans)
+    /// effectively operates on.
+    pub fn intersect_observed(&self, other: &WeekMask) -> usize {
+        let total = self.total.min(other.total);
+        (0..total)
+            .filter(|&w| !self.is_missing(w) && !other.is_missing(w))
+            .count()
     }
 }
 
@@ -282,6 +347,38 @@ mod tests {
         let s = WeeklySeries::new("x", values).normalize_to_baseline();
         assert_eq!(s.values[10], 1.0);
         assert_eq!(s.values[20], 3.0);
+    }
+
+    #[test]
+    fn normalization_baseline_slides_past_masked_weeks() {
+        // An outage masking 10 of the first 15 weeks must not shrink
+        // the baseline window to 5 values: the window slides forward to
+        // the first 15 *observed* weeks.
+        let mut values = vec![10.0; 30];
+        values.extend(vec![40.0; 10]);
+        let mut s = WeeklySeries::new("x", values);
+        s.mask_range(3, 13);
+        let n = s.normalize_to_baseline();
+        // Baseline = median of 15 observed 10.0s (weeks 0-2, 13-24).
+        assert_eq!(n.values[0], 1.0);
+        assert_eq!(n.values[35], 4.0);
+        // Masked weeks stay masked, never zero.
+        assert!(n.values[5].is_nan());
+    }
+
+    #[test]
+    fn week_mask_reports_gap_structure() {
+        let mut a = WeeklySeries::new("a", vec![1.0; 10]);
+        a.mask_weeks(&[2, 3, 7]);
+        let ma = a.week_mask();
+        assert_eq!(ma.missing, vec![2, 3, 7]);
+        assert_eq!(ma.observed(), 7);
+        assert!(ma.is_missing(3) && !ma.is_missing(4));
+        let mut b = WeeklySeries::new("b", vec![1.0; 10]);
+        b.mask_range(6, 9);
+        let mb = b.week_mask();
+        // Pairwise-complete domain: all weeks minus the union {2,3,6,7,8}.
+        assert_eq!(ma.intersect_observed(&mb), 5);
     }
 
     #[test]

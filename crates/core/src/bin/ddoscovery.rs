@@ -17,7 +17,7 @@
 //! 2 for usage and config errors — mirroring
 //! [`ddoscovery::Error::exit_code`].
 
-use ddoscovery::{all_ids, run_experiment, Error, ObsId, StudyConfig, StudyRun};
+use ddoscovery::{all_ids, run_experiment, ChaosPlan, Error, FaultPlan, ObsId, StudyConfig, StudyRun};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -44,7 +44,15 @@ fn usage() -> ExitCode {
          \u{20}  --stage-cache V    cross-run stage cache: `off` to bypass,\n\
          \u{20}                     or an entry bound N (wins over\n\
          \u{20}                     DDOSCOVERY_STAGE_CACHE; output is\n\
-         \u{20}                     identical for every setting)\n\n\
+         \u{20}                     identical for every setting)\n\
+         \u{20}  --faults PATH      JSON fault plan: per-source outage\n\
+         \u{20}                     windows, honeypot fleet churn, flow\n\
+         \u{20}                     sampling degradation (validated like\n\
+         \u{20}                     any config; degraded weeks land in the\n\
+         \u{20}                     telemetry manifest)\n\
+         \u{20}  --chaos P          inject recoverable control-plane faults\n\
+         \u{20}                     with probability P per site; output is\n\
+         \u{20}                     identical with or without the flag\n\n\
          exit codes:\n\
          \u{20}  0  success\n\
          \u{20}  1  runtime failure (I/O, analytics)\n\
@@ -74,6 +82,8 @@ struct Options {
     workers: Option<usize>,
     telemetry: Option<String>,
     stage_cache: Option<usize>,
+    faults: Option<String>,
+    chaos: Option<f64>,
     ids: Vec<String>,
 }
 
@@ -95,6 +105,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: None,
         telemetry: None,
         stage_cache: None,
+        faults: None,
+        chaos: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -121,6 +133,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--stage-cache needs a value")?;
                 opts.stage_cache = Some(parse_stage_cache(v)?);
             }
+            "--faults" => {
+                opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone());
+            }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a value")?;
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad chaos probability {v:?}"))?;
+                opts.chaos = Some(p);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -139,7 +161,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn build_config(opts: &Options) -> StudyConfig {
+fn build_config(opts: &Options) -> Result<StudyConfig, Error> {
     let mut cfg = if opts.quick {
         StudyConfig::quick()
     } else {
@@ -157,8 +179,28 @@ fn build_config(opts: &Options) -> StudyConfig {
     // DDOSCOVERY_STAGE_CACHE fallback in `stagecache::resolve_bound`.
     if opts.stage_cache.is_some() {
         cfg.stage_cache = opts.stage_cache;
+    } else if let Ok(v) = std::env::var(ddoscovery::stagecache::STAGE_CACHE_ENV) {
+        // The library only *warns* on a malformed env bound (it cannot
+        // abort a caller's run); the CLI is the place to be strict and
+        // turn it into a typed config error up front.
+        if let Err(message) = ddoscovery::stagecache::parse_env_bound(&v) {
+            return Err(Error::config("stage_cache", message));
+        }
     }
-    cfg
+    if let Some(path) = &opts.faults {
+        let text = fs::read_to_string(path).map_err(|e| Error::io(path.clone(), &e))?;
+        let plan: FaultPlan = serde_json::from_str(&text)
+            .map_err(|e| Error::config("faults", format!("cannot parse {path}: {e}")))?;
+        cfg.faults = plan;
+    }
+    if let Some(p) = opts.chaos {
+        // The CLI flag injects *recoverable* chaos (failures below the
+        // retry budget) so a flagged run still produces byte-identical
+        // output — the point is exercising the recovery path.
+        cfg.chaos = Some(ChaosPlan::recoverable(p, cfg.seed));
+    }
+    cfg.validate()?;
+    Ok(cfg)
 }
 
 /// Scenario label recorded in run manifests.
@@ -183,6 +225,7 @@ fn emit_telemetry(opts: &Options, cfg: &StudyConfig) -> Result<(), String> {
         workers: cfg.workers,
         config_hash: obs::manifest::fnv1a(config_json.as_bytes()),
         stages: ddoscovery::StageFingerprints::of(cfg).manifest_entries(),
+        degraded_weeks: cfg.faults.degraded_weeks(),
     });
     fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     obs::log::raw_stderr(manifest.summary_table().trim_end());
@@ -224,7 +267,10 @@ fn cmd_run(opts: &Options) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let cfg = build_config(opts);
+    let cfg = match build_config(opts) {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&e),
+    };
     obs::info!(
         "running {} study (seed {:#x}, workers {}) ...",
         scenario_label(opts),
@@ -278,7 +324,10 @@ fn fail(e: &Error) -> ExitCode {
 }
 
 fn cmd_trends(opts: &Options) -> ExitCode {
-    let cfg = build_config(opts);
+    let cfg = match build_config(opts) {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&e),
+    };
     let run_span = obs::span!("run");
     let run = match StudyRun::try_execute(&cfg) {
         Ok(run) => run,
@@ -381,10 +430,10 @@ mod tests {
         // The config only consults DDOSCOVERY_WORKERS when `workers`
         // is None, so a parsed flag short-circuits the env var.
         let opts = parse(&["--workers", "2"]).unwrap();
-        let cfg = build_config(&opts);
+        let cfg = build_config(&opts).unwrap();
         assert_eq!(cfg.workers, Some(2));
         let opts = parse(&[]).unwrap();
-        let cfg = build_config(&opts);
+        let cfg = build_config(&opts).unwrap();
         assert_eq!(cfg.workers, None);
     }
 
@@ -396,9 +445,57 @@ mod tests {
         assert!(parse(&["--stage-cache", "some"]).is_err());
         assert!(parse(&["--stage-cache"]).is_err());
         // The flag lands in the config, where it wins over the env var.
-        let cfg = build_config(&parse(&["--quick", "--stage-cache", "off"]).unwrap());
+        let cfg = build_config(&parse(&["--quick", "--stage-cache", "off"]).unwrap()).unwrap();
         assert_eq!(cfg.stage_cache, Some(0));
         assert_eq!(ddoscovery::stagecache::resolve_bound(&cfg), 0);
+    }
+
+    #[test]
+    fn faults_flag_loads_and_validates_a_plan() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("ddoscovery-faults-good.json");
+        fs::write(
+            &good,
+            r#"{"outages":[{"source":"ucsd","start_week":10,"end_week":20}],
+                "honeypot_churn":null,"flow_degradation":null,"seed":9}"#,
+        )
+        .unwrap();
+        let opts = parse(&["--quick", "--faults", good.to_str().unwrap()]).unwrap();
+        let cfg = build_config(&opts).unwrap();
+        assert_eq!(cfg.faults.outages.len(), 1);
+        assert_eq!(cfg.faults.outages[0].source, "ucsd");
+
+        // A plan naming an unknown source fails validation with the
+        // typed config error, not a panic deep in the pipeline.
+        let bad = dir.join("ddoscovery-faults-bad.json");
+        fs::write(
+            &bad,
+            r#"{"outages":[{"source":"atlantis","start_week":10,"end_week":20}],
+                "honeypot_churn":null,"flow_degradation":null,"seed":9}"#,
+        )
+        .unwrap();
+        let opts = parse(&["--quick", "--faults", bad.to_str().unwrap()]).unwrap();
+        let err = build_config(&opts).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+
+        // A missing file is an I/O error, exit code 1.
+        let opts = parse(&["--quick", "--faults", "/nonexistent/plan.json"]).unwrap();
+        assert_eq!(build_config(&opts).unwrap_err().exit_code(), 1);
+        assert!(parse(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn chaos_flag_builds_a_recoverable_plan() {
+        let opts = parse(&["--quick", "--chaos", "0.2"]).unwrap();
+        let cfg = build_config(&opts).unwrap();
+        let plan = cfg.chaos.unwrap();
+        assert_eq!(plan.probability, 0.2);
+        assert!(plan.failures_per_site < simcore::recover::MAX_ATTEMPTS);
+        // An out-of-range probability is a typed config error.
+        let opts = parse(&["--quick", "--chaos", "1.5"]).unwrap();
+        assert_eq!(build_config(&opts).unwrap_err().exit_code(), 2);
+        assert!(parse(&["--chaos", "plenty"]).is_err());
+        assert!(parse(&["--chaos"]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 pub mod error;
 pub mod experiments;
+pub mod faults;
 pub mod pipeline;
 pub mod render;
 pub mod scenario;
@@ -12,6 +13,7 @@ pub mod sweep;
 
 pub use error::{Error, Result};
 pub use experiments::{all_ids, run_all, run_experiment, ExperimentResult};
+pub use faults::{ChaosPlan, ChurnSpec, DegradationSpec, FaultPlan, OutageSpec};
 pub use pipeline::{ObsId, StudyRun};
 pub use scenario::StudyConfig;
 pub use stagecache::{StageCache, StageFingerprints};

@@ -330,24 +330,52 @@ impl StudyRun {
         let fp = StageFingerprints::of(config);
         let root = SimRng::new(config.seed);
 
+        // Control-plane fault injection: attach the chaos schedule to
+        // the pool (so every shard runs under bounded retry) and wrap
+        // each stage compute, keyed by its content fingerprint — the
+        // injection pattern is a pure function of the schedule and the
+        // work's identity, never of worker count or cache state.
+        let chaos = config.chaos.as_ref().map(|c| c.schedule());
+        let pool = &match chaos {
+            Some(cs) => pool.with_chaos(cs),
+            None => *pool,
+        };
+
         // Stage 1 — plan (inputs: seed + config.net).
         let plan = cache.plan(bound, fp.plan, || {
-            let _s = obs::span!("plan");
-            let mut plan_rng = root.fork_named("plan");
-            Arc::new(InternetPlan::build(&config.net, &mut plan_rng))
+            crate::faults::with_chaos(chaos.as_ref(), "stage.plan", fp.plan, || {
+                let _s = obs::span!("plan");
+                let mut plan_rng = root.fork_named("plan");
+                Arc::new(InternetPlan::build(&config.net, &mut plan_rng))
+            })
         });
 
         // Stage 2 — attacks (inputs: plan + config.gen + seed).
         let attacks = cache.attacks(bound, fp.attacks, || {
-            AttackGenerator::new(&plan, config.gen.clone(), &root)
-                .generate_study_on(pool)
-                .into()
+            crate::faults::with_chaos(chaos.as_ref(), "stage.attacks", fp.attacks, || {
+                AttackGenerator::new(&plan, config.gen.clone(), &root)
+                    .generate_study_on(pool)
+                    .into()
+            })
         });
 
         let obs_root = root.fork_named("observatories");
         // Always rebuilt (cheap, per-plan): the §7.2 baseline
         // projection samples through the run's own Netscout instance.
-        let netscout = Netscout::with_defaults(&plan);
+        let mut netscout = Netscout::with_defaults(&plan);
+        netscout.faults = config.faults.for_source("netscout");
+
+        // Data-plane fault bookkeeping: surface the plan's outage mask
+        // in the metrics registry (and therefore every run manifest).
+        if !config.faults.is_empty() {
+            let masked: u64 = config
+                .faults
+                .degraded_weeks()
+                .iter()
+                .map(|(_, weeks)| weeks.len() as u64)
+                .sum();
+            obs::metrics::counter("fault.degraded_weeks").add(masked);
+        }
 
         // Stage 3 — observations (inputs: plan + attacks + config.obs).
         // Each of the eleven final streams plus the raw Netscout alert
@@ -378,13 +406,23 @@ impl StudyRun {
 
         if needed.iter().any(|&n| n) {
             let observe_span = obs::span!("observe");
-            let ucsd = Telescope::ucsd(&plan);
-            let orion = Telescope::orion(&plan);
-            let hopscotch = Honeypot::hopscotch(&plan);
-            let amppot = Honeypot::amppot(&plan);
-            let newkid = Honeypot::newkid(&plan);
-            let ixp = IxpBlackholing::with_defaults(&plan);
-            let akamai = Akamai::with_defaults(&plan);
+            // Each observatory consults its slice of the fault plan
+            // while observing (empty slices are bit-for-bit inert).
+            let faults_for = |source: &str| config.faults.for_source(source);
+            let mut ucsd = Telescope::ucsd(&plan);
+            ucsd.faults = faults_for("ucsd");
+            let mut orion = Telescope::orion(&plan);
+            orion.faults = faults_for("orion");
+            let mut hopscotch = Honeypot::hopscotch(&plan);
+            hopscotch.faults = faults_for("hopscotch");
+            let mut amppot = Honeypot::amppot(&plan);
+            amppot.faults = faults_for("amppot");
+            let mut newkid = Honeypot::newkid(&plan);
+            newkid.faults = faults_for("newkid");
+            let mut ixp = IxpBlackholing::with_defaults(&plan);
+            ixp.faults = faults_for("ixp");
+            let mut akamai = Akamai::with_defaults(&plan);
+            akamai.faults = faults_for("akamai");
 
             // Flatten (needed source × attack-shard) onto the pool.
             // Tasks are ordered source-major / shard-minor and the pool
@@ -563,6 +601,13 @@ impl StudyRun {
                     }
                     _ => {}
                 }
+            }
+            // Fault-plan outage windows are *missing data*, not zero
+            // counts: mask them so normalization, EWMA, regression and
+            // correlations skip the gap instead of being poisoned by
+            // artificial zeros.
+            for (lo, hi) in self.config.faults.outage_ranges(id) {
+                s.mask_range(lo, hi);
             }
             s
         })

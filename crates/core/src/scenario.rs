@@ -10,6 +10,7 @@
 //! test suite instead of silently poisoning the cache.
 
 use crate::error::{Error, Result};
+use crate::faults::{ChaosPlan, FaultPlan};
 use attackgen::GenConfig;
 use netmodel::NetScale;
 use serde::{Deserialize, Serialize};
@@ -45,6 +46,18 @@ pub struct StudyConfig {
     /// Reproduce the paper's missing-data gaps (ORION 2019Q3–Q4, IXP
     /// January 2019, §6.1) by masking those weeks.
     pub missing_data: bool,
+    /// Deterministic data-plane fault injection: per-source outage
+    /// windows, honeypot sensor churn, flow sampling degradation.
+    /// Empty (the default) is bit-for-bit identical to no fault plan.
+    /// Stage class: observations — changing it re-keys only the
+    /// observation stage.
+    pub faults: FaultPlan,
+    /// Deterministic control-plane fault injection (panicking pool
+    /// shards and stage computes, recovered by bounded retry). `None`
+    /// disables injection. Stage class: execution — output bytes are
+    /// invariant to this knob as long as failures stay within the
+    /// retry budget.
+    pub chaos: Option<ChaosPlan>,
     /// Worker count for the execution pool. `None` uses the process
     /// default (the `DDOSCOVERY_WORKERS` env var, else available
     /// parallelism). Results are identical for every setting — the
@@ -67,6 +80,8 @@ impl Default for StudyConfig {
             gen: GenConfig::default(),
             obs: ObsParams::default(),
             missing_data: true,
+            faults: FaultPlan::default(),
+            chaos: None,
             workers: None,
             stage_cache: None,
         }
@@ -102,8 +117,9 @@ fn positive(field: &'static str, v: f64) -> Result<()> {
     }
 }
 
-/// Finite and within `[0, 1]`.
-fn fraction(field: &'static str, v: f64) -> Result<()> {
+/// Finite and within `[0, 1]`. Shared with the fault-plan validation in
+/// [`crate::faults`].
+pub(crate) fn fraction(field: &'static str, v: f64) -> Result<()> {
     finite(field, v)?;
     if (0.0..=1.0).contains(&v) {
         Ok(())
@@ -246,6 +262,12 @@ impl StudyConfig {
             return Err(Error::config("obs.carpet_gap_secs", "must be at least 1"));
         }
 
+        // Fault injection (stage: observations / execution).
+        self.faults.validate()?;
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+        }
+
         Ok(())
     }
 
@@ -283,6 +305,25 @@ mod tests {
         );
         assert_eq!(back.obs.carpet_gap_secs, cfg.obs.carpet_gap_secs);
         assert_eq!(back.stage_cache, cfg.stage_cache);
+        assert_eq!(back.faults, cfg.faults);
+        assert_eq!(back.chaos, cfg.chaos);
+    }
+
+    #[test]
+    fn serde_roundtrips_a_populated_fault_plan() {
+        let mut cfg = StudyConfig::quick();
+        cfg.faults.outages.push(crate::faults::OutageSpec {
+            source: "orion".into(),
+            start_week: 3,
+            end_week: 11,
+        });
+        cfg.faults.honeypot_churn =
+            Some(crate::faults::ChurnSpec { decline_per_year: 0.2, offline_weekly: 0.1 });
+        cfg.chaos = Some(ChaosPlan::recoverable(0.25, 99));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: StudyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, cfg.faults);
+        assert_eq!(back.chaos, cfg.chaos);
     }
 
     #[test]
@@ -332,6 +373,31 @@ mod tests {
                 Box::new(|c| c.gen.shape.pps_min = f64::NEG_INFINITY),
             ),
             ("obs.carpet_gap_secs", Box::new(|c| c.obs.carpet_gap_secs = 0)),
+            (
+                "faults.outages",
+                Box::new(|c| {
+                    c.faults.outages.push(crate::faults::OutageSpec {
+                        source: "atlantis".into(),
+                        start_week: 0,
+                        end_week: 4,
+                    })
+                }),
+            ),
+            (
+                "faults.honeypot_churn.offline_weekly",
+                Box::new(|c| {
+                    c.faults.honeypot_churn = Some(crate::faults::ChurnSpec {
+                        decline_per_year: 0.1,
+                        offline_weekly: f64::NAN,
+                    })
+                }),
+            ),
+            (
+                "chaos.probability",
+                Box::new(|c| {
+                    c.chaos = Some(ChaosPlan { probability: -0.5, failures_per_site: 1, seed: 0 })
+                }),
+            ),
         ];
         for (field, poison) in cases {
             let mut cfg = StudyConfig::quick();

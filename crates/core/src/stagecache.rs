@@ -49,20 +49,32 @@ pub const DEFAULT_BOUND: usize = 256;
 /// an integer sets the entry bound.
 pub const STAGE_CACHE_ENV: &str = "DDOSCOVERY_STAGE_CACHE";
 
+/// Parse a [`STAGE_CACHE_ENV`] value: `off` (case-insensitive) means
+/// bypass, otherwise an entry count. The CLI surfaces the `Err` as a
+/// typed config error; library callers downgrade it to a warning.
+pub fn parse_env_bound(v: &str) -> std::result::Result<usize, String> {
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("off") {
+        return Ok(0);
+    }
+    v.parse::<usize>()
+        .map_err(|_| format!("expected `off` or an entry count, got {v:?}"))
+}
+
 /// Resolve the effective cache bound for a config: the config knob
 /// wins, then [`STAGE_CACHE_ENV`], then [`DEFAULT_BOUND`]. `0` means
-/// "bypass the cache".
+/// "bypass the cache". A malformed env value is *not* silently
+/// ignored: it warns and falls back to the default bound.
 pub fn resolve_bound(config: &StudyConfig) -> usize {
     if let Some(n) = config.stage_cache {
         return n;
     }
     if let Ok(v) = std::env::var(STAGE_CACHE_ENV) {
-        let v = v.trim();
-        if v.eq_ignore_ascii_case("off") {
-            return 0;
-        }
-        if let Ok(n) = v.parse::<usize>() {
-            return n;
+        match parse_env_bound(&v) {
+            Ok(n) => return n,
+            Err(message) => obs::warn!(
+                "{STAGE_CACHE_ENV}: {message}; using the default bound {DEFAULT_BOUND}"
+            ),
         }
     }
     DEFAULT_BOUND
@@ -90,9 +102,11 @@ pub const FIELD_STAGES: &[(&str, &str)] = &[
     ("net", "plan"),
     ("gen", "attacks"),
     ("obs", "observations"),
+    ("faults", "observations"),
     ("missing_data", "projection"),
     ("workers", "execution"),
     ("stage_cache", "execution"),
+    ("chaos", "execution"),
 ];
 
 /// Fold the serialized values of every field in `class` into `h`, in
@@ -588,11 +602,28 @@ mod tests {
         assert_eq!(fp.attacks, base.attacks);
         assert_ne!(fp.observations, base.observations);
 
+        // faults → only the observation streams re-key (a fault plan
+        // changes what the observatories record, never the plan or the
+        // ground-truth attacks).
+        let mut cfg = StudyConfig::quick();
+        cfg.faults.outages.push(crate::faults::OutageSpec {
+            source: "ucsd".into(),
+            start_week: 0,
+            end_week: 4,
+        });
+        let fp = StageFingerprints::of(&cfg);
+        assert_eq!(fp.plan, base.plan);
+        assert_eq!(fp.attacks, base.attacks);
+        assert_ne!(fp.observations, base.observations);
+
         // projection / execution knobs → no stage re-keys at all.
+        // `chaos` is machine-checked here: control-plane fault
+        // injection must never change an output byte.
         for poison in [
             (|c: &mut StudyConfig| c.missing_data = !c.missing_data) as fn(&mut StudyConfig),
             |c| c.workers = Some(7),
             |c| c.stage_cache = Some(3),
+            |c| c.chaos = Some(crate::faults::ChaosPlan::recoverable(0.5, 1)),
         ] {
             let mut cfg = StudyConfig::quick();
             poison(&mut cfg);
@@ -707,5 +738,89 @@ mod tests {
         let stats = cache.stats(Stage::Attacks);
         assert_eq!(stats.computed, 1);
         assert_eq!(stats.hit, 7);
+    }
+
+    /// Eviction churn racing a coalesced miss at the tightest bound:
+    /// while thread A's compute for key 7 is in flight (its cell empty,
+    /// therefore eviction-proof) thread B inserts two other keys
+    /// through bound 1, forcing LRU evictions, and thread C coalesces
+    /// onto A's cell. Nobody deadlocks, both A and C observe the same
+    /// computed value, and the counters add up.
+    #[test]
+    fn concurrent_eviction_races_coalesced_miss() {
+        use std::sync::Barrier;
+        let cache = StageCache::isolated();
+        let make = |n: usize| -> Arc<Vec<ObservedAttack>> { Arc::new(Vec::with_capacity(n)) };
+        // Rendezvous 1: A's compute has started; B may churn, C may
+        // coalesce. Rendezvous 2: B's churn is done; A may finish.
+        let in_flight = Barrier::new(3);
+        let churned = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                cache.attacks(1, 7, || {
+                    in_flight.wait();
+                    churned.wait();
+                    Arc::from(vec![])
+                })
+            });
+            let c = scope.spawn(|| {
+                in_flight.wait();
+                cache.attacks(1, 7, || panic!("C must coalesce onto A's compute, not re-run it"))
+            });
+            in_flight.wait();
+            cache.insert_observations(1, 100, make(1));
+            cache.insert_observations(1, 101, make(2));
+            churned.wait();
+            let a = a.join().expect("A must not deadlock or die");
+            let c = c.join().expect("C must not deadlock or die");
+            assert_eq!(a.len(), 0);
+            assert_eq!(c.len(), 0);
+        });
+        // B's churn at bound 1 evicted at least one filled entry while
+        // A's empty cell survived; A computed once, C hit.
+        let attacks = cache.stats(Stage::Attacks);
+        assert_eq!(attacks.computed, 1);
+        assert_eq!(attacks.hit, 1);
+        let observations = cache.stats(Stage::Observations);
+        assert_eq!(observations.computed, 2);
+        assert!(observations.evicted >= 1, "bound 1 churn must evict");
+        // The cache stays usable afterwards: key 7 is now filled.
+        let again = cache.attacks(4, 7, || panic!("must be served from cache"));
+        assert_eq!(again.len(), 0);
+    }
+
+    /// A compute that panics must not wedge concurrent waiters on the
+    /// same cell: every coalesced caller either computes or errors, and
+    /// the cell recovers — a later compute can still fill it.
+    #[test]
+    fn panicked_compute_does_not_wedge_waiters() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = StageCache::isolated();
+        let attempts = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (cache, attempts) = (&cache, &attempts);
+                scope.spawn(move || {
+                    let got = simcore::recover::capture("stagecache-test", || {
+                        cache.attacks(8, 55, || {
+                            attempts.fetch_add(1, Ordering::SeqCst);
+                            panic!("injected compute failure")
+                        })
+                    });
+                    let err = got.err().expect("every caller must error, not wedge");
+                    assert!(err.message.contains("injected compute failure"));
+                });
+            }
+        });
+        assert!(
+            attempts.load(Ordering::SeqCst) >= 1,
+            "at least one caller must have attempted the compute"
+        );
+        // The cell recovered: a healthy compute fills it and later
+        // lookups hit.
+        let v = cache.attacks(8, 55, || Arc::from(vec![]));
+        assert_eq!(v.len(), 0);
+        let again = cache.attacks(8, 55, || panic!("must be a cache hit now"));
+        assert_eq!(again.len(), 0);
     }
 }

@@ -12,7 +12,11 @@
 //! outside its invariants (e.g. sweeping `sav_reduction` past 1.0).
 //! Such points are skipped — recorded in [`SweepReport::skipped`] with
 //! their typed error and warned about on stderr — instead of panicking
-//! deep inside the generator and killing the whole grid.
+//! deep inside the generator and killing the whole grid. Runtime
+//! failures (a grid point whose execution panics, including exhausted
+//! chaos-injected faults) degrade the same way: the panic is caught at
+//! the point boundary and becomes a skip entry, counted by the
+//! `sweep.skipped` metric.
 
 use crate::error::Error;
 use crate::pipeline::{ObsId, StudyRun};
@@ -76,7 +80,17 @@ pub fn sweep(
         if let Err(error) = cfg.validate() {
             return Err(SweepSkip { value, error });
         }
-        let run = StudyRun::execute_on(&cfg, &pool);
+        let run = match simcore::recover::capture("sweep.point", || {
+            StudyRun::execute_on(&cfg, &pool)
+        }) {
+            Ok(run) => run,
+            Err(caught) => {
+                return Err(SweepSkip {
+                    value,
+                    error: Error::analytics(format!("sweep point {value}"), caught.to_string()),
+                })
+            }
+        };
         Ok(observatories
             .iter()
             .map(|&id| {
@@ -101,6 +115,7 @@ pub fn sweep(
         match point {
             Ok(outcomes) => report.outcomes.extend(outcomes),
             Err(skip) => {
+                obs::metrics::counter("sweep.skipped").inc();
                 obs::warn!(
                     "sweep: skipping grid value {}: {}",
                     skip.value,
@@ -204,6 +219,37 @@ mod tests {
             report.skipped[0].error,
             Error::Config { field: "gen.timeline.sav_reduction", .. }
         ));
+    }
+
+    #[test]
+    fn runtime_panic_degrades_into_a_skip() {
+        // A grid point whose execution dies (here: permanent injected
+        // chaos, which exhausts every retry) must become a skip entry,
+        // not kill the whole grid.
+        use crate::faults::ChaosPlan;
+        let values = [0.1, 0.3];
+        let before = obs::metrics::counter("sweep.skipped").get();
+        let report = sweep(&tiny_base(), &values, &[ObsId::AmpPot], |cfg, v| {
+            cfg.gen.timeline.sav_reduction = v;
+            if v == 0.3 {
+                cfg.chaos = Some(ChaosPlan {
+                    probability: 1.0,
+                    failures_per_site: simcore::recover::MAX_ATTEMPTS,
+                    seed: 7,
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].value, 0.1);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].value, 0.3);
+        assert!(
+            report.skipped[0].error.to_string().contains("panic at"),
+            "error should carry the captured panic: {}",
+            report.skipped[0].error
+        );
+        assert!(obs::metrics::counter("sweep.skipped").get() > before);
     }
 
     #[test]

@@ -35,6 +35,9 @@ impl Default for AkamaiConfig {
 pub struct Akamai {
     pub cfg: AkamaiConfig,
     protected: PrefixTable<()>,
+    /// Injected data-plane faults (outage windows, flow-sampling
+    /// degradation). Empty by default and bit-for-bit inert when empty.
+    pub faults: simcore::faults::ObsFaults,
 }
 
 impl Akamai {
@@ -42,6 +45,7 @@ impl Akamai {
         Akamai {
             cfg,
             protected: plan.akamai_protected.clone(),
+            faults: simcore::faults::ObsFaults::default(),
         }
     }
 
@@ -57,6 +61,12 @@ impl Akamai {
     /// Event-level observation with the attack's class attached (Akamai
     /// publishes separate RA and DP series, Fig. 2(d)/3(d)).
     pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(AttackClass, ObservedAttack)> {
+        // Outage check first, before any RNG fork, so unaffected weeks
+        // keep their exact detection streams.
+        let week = attack.start.week_index();
+        if self.faults.is_down(week) {
+            return None;
+        }
         // At least one target must be in protected space.
         let protected_targets: Vec<netmodel::Ipv4> = attack
             .targets
@@ -72,6 +82,11 @@ impl Akamai {
         }
         let mut rng = root.fork(attack.id.0).fork_named("akamai-prolexic");
         if !rng.chance(self.cfg.detection_probability) {
+            return None;
+        }
+        // Sampling degradation swallows the would-be detection from a
+        // dedicated RNG fork, leaving the main draw stream untouched.
+        if self.faults.drops_sample(root, attack.id.0, week) {
             return None;
         }
         Some((

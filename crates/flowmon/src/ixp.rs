@@ -62,6 +62,9 @@ impl Default for IxpConfig {
 pub struct IxpBlackholing {
     pub cfg: IxpConfig,
     members: HashSet<Asn>,
+    /// Injected data-plane faults (outage windows, flow-sampling
+    /// degradation). Empty by default and bit-for-bit inert when empty.
+    pub faults: simcore::faults::ObsFaults,
 }
 
 impl IxpBlackholing {
@@ -69,6 +72,7 @@ impl IxpBlackholing {
         IxpBlackholing {
             cfg,
             members: plan.ixp_members.clone(),
+            faults: simcore::faults::ObsFaults::default(),
         }
     }
 
@@ -84,7 +88,18 @@ impl IxpBlackholing {
     /// the observation so the core pipeline can maintain the IXP's two
     /// separate series (Fig. 2(e) and Fig. 3(e)).
     pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(IxpDetection, ObservedAttack)> {
+        // Outage check first, before any RNG fork, so unaffected weeks
+        // keep their exact detection streams.
+        let week = attack.start.week_index();
+        if self.faults.is_down(week) {
+            return None;
+        }
         if !self.members.contains(&attack.target_asn) {
+            return None;
+        }
+        // Sampling degradation swallows the would-be detection from a
+        // dedicated RNG fork, leaving the main draw stream untouched.
+        if self.faults.drops_sample(root, attack.id.0, week) {
             return None;
         }
         let mut rng = root.fork(attack.id.0).fork_named("ixp-blackholing");

@@ -63,6 +63,9 @@ impl Default for NetscoutConfig {
 pub struct Netscout {
     pub cfg: NetscoutConfig,
     customers: HashSet<Asn>,
+    /// Injected data-plane faults (outage windows, flow-sampling
+    /// degradation). Empty by default and bit-for-bit inert when empty.
+    pub faults: simcore::faults::ObsFaults,
 }
 
 impl Netscout {
@@ -70,6 +73,7 @@ impl Netscout {
         Netscout {
             cfg,
             customers: plan.netscout_customers.clone(),
+            faults: simcore::faults::ObsFaults::default(),
         }
     }
 
@@ -97,11 +101,22 @@ impl Netscout {
     /// Event-level observation: an alert at `Medium`+ severity for an
     /// attack on a customer network.
     pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<NetscoutAlert> {
+        // Outage check first, before any RNG fork, so unaffected weeks
+        // keep their exact alert streams.
+        let week = attack.start.week_index();
+        if self.faults.is_down(week) {
+            return None;
+        }
         if !self.customers.contains(&attack.target_asn) {
             return None;
         }
         let mut rng = root.fork(attack.id.0).fork_named("netscout-atlas");
         if !rng.chance(self.cfg.alert_probability) {
+            return None;
+        }
+        // Sampling degradation swallows the would-be alert from a
+        // dedicated RNG fork, leaving the main draw stream untouched.
+        if self.faults.drops_sample(root, attack.id.0, week) {
             return None;
         }
         // Atlas alerts are per victim: a carpet attack spreading its
@@ -296,6 +311,45 @@ mod tests {
         // Deterministic.
         let again = ns.baseline_sample(&alerts, &root);
         assert_eq!(baseline.len(), again.len());
+    }
+
+    #[test]
+    fn outage_and_degradation_thin_the_alert_stream() {
+        let plan = plan();
+        let root = SimRng::new(1);
+        let healthy = Netscout::with_defaults(&plan);
+        let attacks: Vec<Attack> = (0..1000)
+            .map(|id| attack(&plan, id, 50_000.0, AttackClass::DirectPathNonSpoofed))
+            .collect();
+        let full = healthy.observe_all(&attacks, &root).len();
+
+        // An outage covering the attacks' week blacks everything out.
+        let week = SimTime(1000).week_index() as u32;
+        let mut dark = Netscout::with_defaults(&plan);
+        dark.faults.outages.push(simcore::faults::OutageWindow {
+            start_week: week,
+            end_week: week + 1,
+        });
+        assert_eq!(dark.observe_all(&attacks, &root).len(), 0);
+
+        // Sampling degradation drops roughly the configured fraction and
+        // never resurrects an alert the healthy path dropped.
+        let mut degraded = Netscout::with_defaults(&plan);
+        degraded.faults.degradation = Some(simcore::faults::FlowDegradation {
+            drop_fraction: 0.5,
+            start_week: 0,
+        });
+        let thinned = degraded.observe_all(&attacks, &root);
+        let frac = thinned.len() as f64 / full as f64;
+        assert!((0.4..=0.6).contains(&frac), "kept fraction {frac}");
+        let full_ids: std::collections::HashSet<u64> = healthy
+            .observe_all(&attacks, &root)
+            .iter()
+            .map(|al| al.observation.attack_id.0)
+            .collect();
+        assert!(thinned
+            .iter()
+            .all(|al| full_ids.contains(&al.observation.attack_id.0)));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::platform::HoneypotConfig;
 use attackgen::{Attack, AttackClass, ObservedAttack};
 use netmodel::{AmpVector, InternetPlan, Ipv4};
 use simcore::dist::{binomial, poisson};
+use simcore::faults::ObsFaults;
 use simcore::SimRng;
 use std::collections::BTreeMap;
 
@@ -21,6 +22,10 @@ use std::collections::BTreeMap;
 pub struct Honeypot {
     pub cfg: HoneypotConfig,
     pools: BTreeMap<AmpVector, u64>,
+    /// Injected data-plane faults (outage windows, sensor-fleet
+    /// decline/churn). Empty by default and bit-for-bit inert when
+    /// empty: the sensor count passes through as the same integer.
+    pub faults: ObsFaults,
 }
 
 impl Honeypot {
@@ -28,6 +33,7 @@ impl Honeypot {
         Honeypot {
             cfg,
             pools: plan.reflector_pools.clone(),
+            faults: ObsFaults::default(),
         }
     }
 
@@ -50,6 +56,12 @@ impl Honeypot {
     /// reflector-selection draws for the same attack, which is what
     /// produces the partial (≈ 50 %) target overlap of Fig. 7.
     pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+        // Outage check first, before any RNG fork, so unaffected weeks
+        // keep their exact verdict streams.
+        let week = attack.start.week_index();
+        if self.faults.is_down(week) {
+            return None;
+        }
         if attack.class != AttackClass::ReflectionAmplification {
             return None;
         }
@@ -61,8 +73,15 @@ impl Honeypot {
         let k = refl.reflector_count as f64;
         let select_p = (self.cfg.selection_boost * k / pool as f64).min(1.0);
         let mut rng = root.fork(attack.id.0).fork_named(&self.cfg.name);
+        // Sensor fleet at this week: the nominal count unless churn is
+        // injected (identity pass-through keeps the binomial draw
+        // bit-identical on the fault-free path).
+        let sensors = self.faults.fleet_at(self.cfg.sensor_count() as u64, week);
+        if sensors == 0 {
+            return None;
+        }
         // How many of our sensors did the attacker pick?
-        let m = binomial(&mut rng, self.cfg.sensor_count() as u64, select_p);
+        let m = binomial(&mut rng, sensors, select_p);
         if m == 0 {
             return None;
         }
@@ -288,6 +307,47 @@ mod tests {
             }
         }
         assert!(partial, "carpet observation should sometimes be partial");
+    }
+
+    #[test]
+    fn churn_shrinks_the_fleet_and_outage_kills_it() {
+        let plan = plan();
+        let healthy = Honeypot::hopscotch(&plan);
+        let mut declining = Honeypot::hopscotch(&plan);
+        declining.faults.churn = Some(simcore::faults::SensorChurn {
+            decline_per_year: 0.25,
+            offline_weekly: 0.1,
+            seed: 5,
+        });
+        let mut dark = Honeypot::hopscotch(&plan);
+        let week = SimTime(50_000).week_index() as u32;
+        dark.faults.outages.push(simcore::faults::OutageWindow {
+            start_week: week,
+            end_week: week + 1,
+        });
+        let root = SimRng::new(1);
+        let pool = plan.reflector_pools[&AmpVector::Dns] as f64;
+        // Moderate selection probability so a fleet shrunk to ~25%
+        // after three years of decline clearly changes the hit count.
+        let k = (pool * 0.02) as u32;
+        let late_start = SimTime(3 * 365 * 86_400); // ~3 years in
+        let count = |hp: &Honeypot, start: SimTime| {
+            (0..300)
+                .filter(|&id| {
+                    let mut a = ra(id, AmpVector::Dns, k, 50_000.0, 1);
+                    a.start = start;
+                    hp.observe(&a, &root).is_some()
+                })
+                .count()
+        };
+        let full = count(&healthy, late_start);
+        let shrunk = count(&declining, late_start);
+        assert!(
+            shrunk * 2 < full,
+            "a ~90% smaller fleet must see far less: {shrunk} vs {full}"
+        );
+        assert_eq!(count(&dark, SimTime(50_000)), 0, "outage week records nothing");
+        assert_eq!(count(&dark, late_start), full, "outside the window: bit-identical");
     }
 
     #[test]

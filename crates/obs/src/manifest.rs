@@ -36,6 +36,11 @@ pub struct RunInfo {
     /// executes under (DESIGN.md §7). Empty when the producer predates
     /// the stage graph or chose not to record them.
     pub stages: Vec<(String, u64)>,
+    /// Weeks blacked out per fault source by the run's fault plan
+    /// (`(source, sorted week indices)`). Empty for a fault-free run;
+    /// lets a manifest reader see *which* weeks of which observatory
+    /// were degraded without replaying the plan.
+    pub degraded_weeks: Vec<(String, Vec<u64>)>,
 }
 
 /// A complete run manifest.
@@ -157,6 +162,12 @@ impl RunManifest {
         for (name, v) in &self.metrics.gauges {
             out.push_str(&format!("{name:<34} {v:>12.3}\n"));
         }
+        if !self.run.degraded_weeks.is_empty() {
+            out.push_str(&format!("{:<34} {:>12}\n", "degraded source", "weeks lost"));
+            for (source, weeks) in &self.run.degraded_weeks {
+                out.push_str(&format!("{:<34} {:>12}\n", source, weeks.len()));
+            }
+        }
         out
     }
 }
@@ -273,6 +284,16 @@ impl Serialize for RunManifest {
                                 .collect(),
                         ),
                     ),
+                    (
+                        "degraded_weeks",
+                        Value::Object(
+                            self.run
+                                .degraded_weeks
+                                .iter()
+                                .map(|(source, weeks)| (source.clone(), weeks.to_value()))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("metrics", self.metrics.to_value()),
@@ -335,12 +356,14 @@ mod tests {
                 workers: Some(4),
                 config_hash: 7,
                 stages: vec![("plan".into(), 11), ("attacks".into(), 22)],
+                degraded_weeks: vec![("ucsd".into(), vec![3, 4, 5])],
             },
             metrics,
         };
         let json = m.to_json();
         assert!(json.contains("\"gen.attacks\": 42"));
         assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"ucsd\""));
         let v: Value = serde_json::from_str(&json).unwrap();
         let counters = v.get("metrics").unwrap().get("counters").unwrap();
         assert_eq!(counters.get("gen.attacks"), Some(&Value::UInt(42)));
@@ -348,5 +371,6 @@ mod tests {
         assert!(table.contains("quick run"));
         assert!(table.contains("span.run"));
         assert!(table.contains("gen.attacks"));
+        assert!(table.contains("degraded source"));
     }
 }

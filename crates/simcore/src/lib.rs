@@ -10,14 +10,23 @@
 //! * [`dist`] — the statistical distributions behind attack arrivals,
 //!   sizes, durations and observatory visibility sampling;
 //! * [`pool`] — the deterministic sharded execution pool that fans the
-//!   study out across workers without perturbing any RNG stream.
+//!   study out across workers without perturbing any RNG stream;
+//! * [`faults`] — data-plane fault primitives (outage windows, sensor
+//!   churn, sampling degradation) the observatories consult;
+//! * [`chaos`] + [`recover`] — seeded control-plane fault injection and
+//!   the workspace's only sanctioned panic-capture + bounded-retry home.
 
+pub mod chaos;
 pub mod dist;
+pub mod faults;
 pub mod pool;
+pub mod recover;
 pub mod rng;
 pub mod time;
 
+pub use chaos::ChaosSchedule;
 pub use dist::Zipf;
+pub use faults::{FlowDegradation, ObsFaults, OutageWindow, SensorChurn};
 pub use pool::ExecPool;
 pub use rng::SimRng;
 pub use time::{Date, SimTime, BASELINE_WEEKS, STUDY_DAYS, STUDY_END, STUDY_START, STUDY_WEEKS};

@@ -18,6 +18,8 @@
 //! call, which is noise next to the millisecond-scale shards we feed
 //! them.
 
+use crate::chaos::ChaosSchedule;
+use crate::recover::{self, CaughtPanic};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -52,15 +54,29 @@ impl PoolMetrics {
 pub const WORKERS_ENV: &str = "DDOSCOVERY_WORKERS";
 
 /// A stateless fork-join pool with a fixed worker budget.
+///
+/// An optional [`ChaosSchedule`] injects deterministic panics into shard
+/// closures; each shard then runs under the bounded retry in
+/// [`recover`], and a shard whose failures outlast the retry budget
+/// surfaces as a panic on the **lowest failing shard index** after the
+/// deterministic merge — never on whichever worker thread lost the race
+/// — so even the failure mode is independent of the worker count.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecPool {
     workers: usize,
+    chaos: Option<ChaosSchedule>,
 }
 
 impl ExecPool {
     /// A pool with exactly `workers` workers (clamped to ≥ 1).
     pub fn new(workers: usize) -> ExecPool {
-        ExecPool { workers: workers.max(1) }
+        ExecPool { workers: workers.max(1), chaos: None }
+    }
+
+    /// The same pool with a chaos schedule attached to every shard.
+    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> ExecPool {
+        self.chaos = Some(schedule);
+        self
     }
 
     /// A single-threaded pool: every combinator degenerates to a plain
@@ -96,12 +112,17 @@ impl ExecPool {
         let metrics = PoolMetrics::get();
         metrics.tasks.add(chunks.len() as u64);
         if self.workers == 1 || chunks.len() <= 1 {
-            return chunks.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+            return chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| unwrap_shard(i, self.call_shard(i, c, &f)))
+                .collect();
         }
         metrics.calls.inc();
 
         let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let collected: Mutex<Vec<(usize, Result<R, CaughtPanic>)>> =
+            Mutex::new(Vec::with_capacity(chunks.len()));
         let threads = self.workers.min(chunks.len());
         // Per-worker busy time, written once per worker after its loop
         // drains (slot writes are disjoint, so Relaxed is enough).
@@ -113,11 +134,11 @@ impl ExecPool {
                     let watch = obs::Stopwatch::start();
                     // Batch each worker's results locally; one lock
                     // acquisition per worker, not per shard.
-                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut local: Vec<(usize, Result<R, CaughtPanic>)> = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(idx) else { break };
-                        local.push((idx, f(idx, chunk)));
+                        local.push((idx, self.call_shard(idx, chunk, &f)));
                     }
                     collected
                         .lock()
@@ -144,7 +165,24 @@ impl ExecPool {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         tagged.sort_unstable_by_key(|(idx, _)| *idx);
         debug_assert_eq!(tagged.len(), chunks.len());
-        tagged.into_iter().map(|(_, r)| r).collect()
+        tagged.into_iter().map(|(idx, r)| unwrap_shard(idx, r)).collect()
+    }
+
+    /// Run one shard, applying the chaos schedule and bounded retry when
+    /// one is attached. Without chaos this is a direct call: organic
+    /// panics propagate exactly as before, and no unwind-capture frame
+    /// is ever entered.
+    fn call_shard<T, R, F>(&self, idx: usize, chunk: &[T], f: &F) -> Result<R, CaughtPanic>
+    where
+        F: Fn(usize, &[T]) -> R,
+    {
+        match self.chaos {
+            None => Ok(f(idx, chunk)),
+            Some(cs) => recover::try_with_retry("pool.shard", |attempt| {
+                cs.maybe_fail("pool.shard", idx as u64, attempt);
+                f(idx, chunk)
+            }),
+        }
     }
 
     /// Filter-map over `items` in parallel, preserving input order.
@@ -178,6 +216,22 @@ impl ExecPool {
 impl Default for ExecPool {
     fn default() -> Self {
         ExecPool::global()
+    }
+}
+
+/// Unwrap a shard result, surfacing an exhausted retry as a panic tagged
+/// with the shard index. Both the serial path (which visits shards in
+/// order and short-circuits) and the parallel path (which panics on the
+/// lowest index after the sorted merge) produce this message for the
+/// same shard, keeping the failure deterministic across worker counts.
+fn unwrap_shard<R>(idx: usize, r: Result<R, CaughtPanic>) -> R {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!(
+            "pool.shard[{idx}] failed after {} attempts: {}",
+            recover::MAX_ATTEMPTS,
+            e.message
+        ),
     }
 }
 
@@ -238,6 +292,44 @@ mod tests {
         assert!(out.is_empty());
         let out = ExecPool::new(4).par_filter_map(&empty, |x: &u8| Some(*x));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn transient_chaos_is_bitwise_invisible() {
+        let items: Vec<u64> = (0..512).collect();
+        let sum = |i: usize, c: &[u64]| (i as u64, c.iter().sum::<u64>());
+        let base = ExecPool::new(4).par_chunks_indexed(&items, 8, sum);
+        let cs = ChaosSchedule { seed: 5, probability: 0.4, failures_per_site: 2 };
+        for workers in [1, 3, 8] {
+            let out = ExecPool::new(workers).with_chaos(cs).par_chunks_indexed(&items, 8, sum);
+            assert_eq!(base, out, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn permanent_chaos_panics_on_lowest_failing_shard() {
+        let items: Vec<u64> = (0..256).collect();
+        let cs = ChaosSchedule {
+            seed: 5,
+            probability: 0.3,
+            failures_per_site: recover::MAX_ATTEMPTS,
+        };
+        let expected = (0..64u64)
+            .find(|&i| cs.failures_at("pool.shard", i) > 0)
+            .expect("p=0.3 over 64 shards must schedule a failure");
+        for workers in [1, 4] {
+            let err = recover::capture("test", || {
+                ExecPool::new(workers)
+                    .with_chaos(cs)
+                    .par_chunks_indexed(&items, 4, |_, c| c.len())
+            })
+            .expect_err("permanent chaos must fail the fan-out");
+            assert!(
+                err.message.contains(&format!("pool.shard[{expected}]")),
+                "workers={workers}: {}",
+                err.message
+            );
+        }
     }
 
     #[test]

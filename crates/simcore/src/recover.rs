@@ -1,0 +1,157 @@
+//! Panic recovery and bounded deterministic retry.
+//!
+//! This module is the *only* place in the workspace allowed to call
+//! `std::panic::catch_unwind` (enforced by repo lint rule 5). Everything
+//! else that needs to survive a panicking computation — `ExecPool` shard
+//! closures, stage-cache computes, per-point sweep runs, chaos tests —
+//! goes through [`capture`] or [`run_with_retry`] so that recovery policy
+//! (attempt budget, counters, message extraction) lives in one audited
+//! spot and unwind-safety reasoning is not scattered across the tree.
+//!
+//! Determinism: retry is bounded by the fixed [`MAX_ATTEMPTS`] budget and
+//! keyed only by the closure's own behaviour (the attempt index is passed
+//! in), never by wall-clock backoff or thread identity, so a computation
+//! that fails `k < MAX_ATTEMPTS` times under a seeded chaos schedule
+//! recovers to the identical value on every run and worker count.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+/// Total attempt budget for [`run_with_retry`] / [`try_with_retry`]: one
+/// initial try plus up to two recoveries. A chaos schedule configured to
+/// fail a site `>= MAX_ATTEMPTS` times is therefore a *permanent* failure.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// A panic caught by this module, reduced to its payload message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// Label of the recovery site that caught the panic.
+    pub site: String,
+    /// The panic payload, if it was a `&str` or `String`.
+    pub message: String,
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic at {}: {}", self.site, self.message)
+    }
+}
+
+struct Counters {
+    caught: Arc<obs::metrics::Counter>,
+    recovered: Arc<obs::metrics::Counter>,
+    exhausted: Arc<obs::metrics::Counter>,
+}
+
+fn counters() -> &'static Counters {
+    static C: OnceLock<Counters> = OnceLock::new();
+    C.get_or_init(|| Counters {
+        caught: obs::metrics::counter("fault.caught"),
+        recovered: obs::metrics::counter("fault.recovered"),
+        exhausted: obs::metrics::counter("fault.exhausted"),
+    })
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` once, converting a panic into `Err(CaughtPanic)`.
+///
+/// The closures recovered here are pure functions of their (immutable)
+/// captures — shard slices, configs, fingerprints — so observing state
+/// after an unwind cannot expose a broken invariant to the caller;
+/// that is what justifies the single `AssertUnwindSafe` below.
+pub fn capture<T>(site: &str, f: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            counters().caught.inc();
+            Err(CaughtPanic {
+                site: site.to_string(),
+                message: payload_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Run `f(attempt)` up to [`MAX_ATTEMPTS`] times, returning the first
+/// success. Exhaustion yields the *last* caught panic as an error.
+pub fn try_with_retry<T>(site: &str, mut f: impl FnMut(u32) -> T) -> Result<T, CaughtPanic> {
+    let mut last = None;
+    for attempt in 0..MAX_ATTEMPTS {
+        match capture(site, || f(attempt)) {
+            Ok(v) => {
+                if attempt > 0 {
+                    counters().recovered.inc();
+                }
+                return Ok(v);
+            }
+            Err(caught) => last = Some(caught),
+        }
+    }
+    counters().exhausted.inc();
+    Err(last.expect("MAX_ATTEMPTS > 0 guarantees at least one attempt"))
+}
+
+/// Like [`try_with_retry`], but re-raises the final panic when the
+/// attempt budget is exhausted, for call sites whose error contract is
+/// "propagate the panic" (stage-cache computes inside `OnceLock` cells).
+pub fn run_with_retry<T>(site: &str, f: impl FnMut(u32) -> T) -> T {
+    match try_with_retry(site, f) {
+        Ok(v) => v,
+        Err(caught) => panic!("{caught} (gave up after {MAX_ATTEMPTS} attempts)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn capture_returns_value_or_message() {
+        assert_eq!(capture("t", || 41 + 1), Ok(42));
+        let err = capture::<()>("t", || panic!("boom {}", 7)).expect_err("must catch");
+        assert_eq!(err.message, "boom 7");
+        assert_eq!(err.site, "t");
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        let calls = AtomicU32::new(0);
+        let v = try_with_retry("t", |attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert!(attempt >= 2, "fails twice, succeeds on third: {attempt}");
+            attempt
+        });
+        assert_eq!(v, Ok(2));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_exhausts_after_max_attempts() {
+        let calls = AtomicU32::new(0);
+        let err = try_with_retry::<()>("t", |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always");
+        })
+        .expect_err("permanent failure must exhaust");
+        assert_eq!(calls.load(Ordering::Relaxed), MAX_ATTEMPTS);
+        assert_eq!(err.message, "always");
+    }
+
+    #[test]
+    fn run_with_retry_repanics_with_site_label() {
+        let err = capture("outer", || run_with_retry::<()>("inner", |_| panic!("nope")))
+            .expect_err("must propagate");
+        assert!(err.message.contains("inner"), "{}", err.message);
+        assert!(err.message.contains("nope"), "{}", err.message);
+    }
+}

@@ -13,6 +13,7 @@ use attackgen::packets::BACKSCATTER_RESPONSE_RATE;
 use attackgen::{Attack, AttackClass, ObservedAttack};
 use netmodel::{InternetPlan, Ipv4, TelescopePlan};
 use simcore::dist::poisson;
+use simcore::faults::ObsFaults;
 use simcore::SimRng;
 
 /// An operating network telescope.
@@ -22,6 +23,9 @@ pub struct Telescope {
     pub cfg: RsdosConfig,
     /// Fraction of attack packets the victim answers.
     pub response_rate: f64,
+    /// Injected data-plane faults (outage windows). Empty by default
+    /// and bit-for-bit inert when empty.
+    pub faults: ObsFaults,
 }
 
 impl Telescope {
@@ -31,6 +35,7 @@ impl Telescope {
             spec: plan.ucsd.clone(),
             cfg: RsdosConfig::default(),
             response_rate: BACKSCATTER_RESPONSE_RATE,
+            faults: ObsFaults::default(),
         }
     }
 
@@ -40,6 +45,7 @@ impl Telescope {
             spec: plan.orion.clone(),
             cfg: RsdosConfig::default(),
             response_rate: BACKSCATTER_RESPONSE_RATE,
+            faults: ObsFaults::default(),
         }
     }
 
@@ -55,6 +61,12 @@ impl Telescope {
     /// observations are deterministic and independent across
     /// observatories regardless of processing order.
     pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+        // Outage check first, before any RNG fork: a dark telescope
+        // records nothing, and the fault path must not perturb the
+        // verdict streams of unaffected weeks.
+        if self.faults.is_down(attack.start.week_index()) {
+            return None;
+        }
         if attack.class != AttackClass::DirectPathSpoofed {
             return None;
         }
@@ -295,6 +307,27 @@ mod tests {
         }
         let rate = agreements as f64 / total as f64;
         assert!(rate >= 0.85, "agreement rate {rate}");
+    }
+
+    #[test]
+    fn outage_blacks_out_exactly_its_window() {
+        let plan = plan();
+        let mut dark = Telescope::ucsd(&plan);
+        let week = rsdos(1, 1.0, 1, 1.0).start.week_index() as u32;
+        dark.faults.outages.push(simcore::faults::OutageWindow {
+            start_week: week,
+            end_week: week + 1,
+        });
+        let healthy = Telescope::ucsd(&plan);
+        let root = SimRng::new(1);
+        let a = rsdos(1, 500_000.0, 600, 1.0);
+        assert!(healthy.observe(&a, &root).is_some());
+        assert!(dark.observe(&a, &root).is_none(), "in-window attack must vanish");
+        // An attack one week later is past the outage and must match
+        // the healthy telescope bit-for-bit.
+        let mut later = rsdos(2, 500_000.0, 600, 1.0);
+        later.start = simcore::SimTime(later.start.0 + 7 * 86_400);
+        assert_eq!(dark.observe(&later, &root), healthy.observe(&later, &root));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Source lint wired into the test suite (mirrors `tools/lint.sh`),
-//! four rules:
+//! five rules:
 //!
 //! 1. No wall-clock or OS-entropy primitives anywhere in simulation
 //!    code: every stochastic draw must fork from the study seed and
@@ -19,6 +19,11 @@
 //!    `partial_cmp(..)` + unwrap comparator idiom — use `total_cmp`.
 //!    Only lines before a file's first test-module marker are in
 //!    scope; tests and benches may unwrap freely.
+//! 5. Unwind capture (the std panic-catching primitive) is confined to
+//!    `crates/simcore/src/recover.rs`, the designated recovery module
+//!    (DESIGN.md §8): every caught panic flows through
+//!    `recover::capture` so retry budgets and `fault.*` counters stay
+//!    consistent.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -141,6 +146,13 @@ fn repo_lint_rules_hold() {
             // NOT exempt here — its failure paths carry exit codes.
             allow: |rel| !(rel.starts_with("src/") || rel.contains("/src/")),
             library_lines_only: true,
+        },
+        Rule {
+            name: "unwind boundary outside the recovery module",
+            patterns: vec![["catch_", "unwind"].concat()],
+            dirs: &["crates", "src", "examples", "tests"],
+            allow: |rel| rel == "crates/simcore/src/recover.rs",
+            library_lines_only: false,
         },
     ];
 

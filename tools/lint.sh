@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo lint, four rules (mirrored by tests/repo_lint.rs):
+# Repo lint, five rules (mirrored by tests/repo_lint.rs):
 #
 # 1. No wall-clock or OS-entropy primitives in simulation code. The
 #    reproducibility contract (DESIGN.md §4) requires every stochastic
@@ -28,6 +28,12 @@
 #    Scope: lines before the first `#[cfg(test)]` of each file under a
 #    src/ directory; test modules, tests/, benches, and examples are
 #    not library code and may unwrap freely.
+#
+# 5. `catch_unwind` lives only in `crates/simcore/src/recover.rs`, the
+#    designated recovery module (DESIGN.md §8). Scattered unwind
+#    boundaries hide bugs and break the deterministic-failure contract:
+#    every caught panic must flow through `recover::capture` so retry
+#    budgets and `fault.*` counters stay consistent.
 #
 # Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
@@ -69,7 +75,14 @@ if [ -n "$unwrap_hits" ]; then
     fail=1
 fi
 
+if grep -rnE 'catch_unwind' crates src examples tests --include='*.rs' 2>/dev/null \
+    | grep -vE '^crates/simcore/src/recover\.rs:' \
+    | grep . ; then
+    echo "lint: catch_unwind outside crates/simcore/src/recover.rs (route panics through recover::capture)" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement)"
