@@ -1,4 +1,4 @@
-.PHONY: build test lint bench bench-json check telemetry chaos
+.PHONY: build test lint bench bench-json check telemetry chaos scale
 
 build:
 	cargo build --release
@@ -25,6 +25,18 @@ bench-json:
 # target so bench drift cannot rot outside the tier-1 path.
 check: test
 	cargo bench --workspace --no-run
+
+# 10M-attack scale path (DESIGN.md §9): per-stage peak-RSS probes in
+# separate processes (VmHWM is monotone, so stages must not share one),
+# the population throughput bench (BENCH_population.json), and the
+# ignored 10M release smoke test.
+scale:
+	DDOS_SCALE_TARGET=10000000 DDOS_SCALE_STAGE=generate \
+		cargo run --release --example scale_probe
+	DDOS_SCALE_TARGET=10000000 \
+		cargo run --release --example scale_probe
+	cargo bench -p ddoscovery-bench --bench population
+	cargo test -q --release --test scale_smoke -- --ignored
 
 # Fault-injection suite under several pool widths: the chaos tests
 # assert byte-identical output across worker counts internally, and

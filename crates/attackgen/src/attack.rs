@@ -10,6 +10,7 @@
 use netmodel::{AmpVector, Asn, Ipv4, Transport};
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
+use std::borrow::Cow;
 
 /// Unique attack identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -87,14 +88,30 @@ impl AttackVector {
         }
     }
 
-    pub fn label(self) -> String {
-        match self {
-            AttackVector::SynFlood => "syn-flood".into(),
-            AttackVector::UdpFlood => "udp-flood".into(),
-            AttackVector::IcmpFlood => "icmp-flood".into(),
-            AttackVector::HttpFlood => "http-flood".into(),
-            AttackVector::Amplification(v) => format!("amp-{}", v.label()),
-        }
+    /// Label for CSV/report output. Always borrowed: the four
+    /// direct-path names are literals and the eleven `amp-*` names are
+    /// pre-joined statics, so per-record rendering loops no longer
+    /// allocate a fresh `String` per call.
+    pub const fn label(self) -> Cow<'static, str> {
+        Cow::Borrowed(match self {
+            AttackVector::SynFlood => "syn-flood",
+            AttackVector::UdpFlood => "udp-flood",
+            AttackVector::IcmpFlood => "icmp-flood",
+            AttackVector::HttpFlood => "http-flood",
+            AttackVector::Amplification(v) => match v {
+                AmpVector::Dns => "amp-dns",
+                AmpVector::Ntp => "amp-ntp",
+                AmpVector::Cldap => "amp-cldap",
+                AmpVector::Ssdp => "amp-ssdp",
+                AmpVector::CharGen => "amp-chargen",
+                AmpVector::Qotd => "amp-qotd",
+                AmpVector::Rpc => "amp-rpc",
+                AmpVector::Memcached => "amp-memcached",
+                AmpVector::Snmp => "amp-snmp",
+                AmpVector::NetBios => "amp-netbios",
+                AmpVector::WsDiscovery => "amp-wsdiscovery",
+            },
+        })
     }
 }
 
@@ -241,5 +258,12 @@ mod tests {
             AttackVector::Amplification(AmpVector::Ssdp).label(),
             "amp-ssdp"
         );
+        // The static amp labels must stay consistent with the AmpVector
+        // labels they were pre-joined from, and never allocate.
+        for v in AmpVector::ALL {
+            let label = AttackVector::Amplification(v).label();
+            assert_eq!(label, format!("amp-{}", v.label()));
+            assert!(matches!(label, Cow::Borrowed(_)));
+        }
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::attack::{Attack, AttackClass, AttackId, AttackVector, ReflectorUse};
 use crate::campaigns::{random_campaigns, scripted_campaigns, Campaign, CampaignScope};
+use crate::columns::{AttackColumns, AttackRef};
 use crate::shape::ShapeParams;
 use crate::timeline::TimelineParams;
 use netmodel::{Asn, InternetPlan, Ipv4, Rir};
@@ -135,53 +136,89 @@ impl<'a> AttackGenerator<'a> {
     /// Generate the entire 4.5-year study, sorted by start time.
     /// Serial shortcut for [`AttackGenerator::generate_study_on`]; the
     /// output is identical for every pool.
-    pub fn generate_study(&self) -> Vec<Attack> {
+    pub fn generate_study(&self) -> AttackColumns {
         self.generate_study_on(&ExecPool::serial())
     }
 
-    /// Generate the study with weeks fanned out across `pool`.
+    /// Generate the study with weeks fanned out across `pool`, directly
+    /// into columnar storage.
     ///
     /// Weeks draw from independent forks of `week_root`, so they can be
-    /// generated in any order; shards are concatenated back in week
-    /// order and ids rebased to the concatenated position — exactly the
-    /// ids a serial week-by-week pass assigns. The final sort key is
-    /// `(start, id)`, both reproducible, so the full output is bitwise
-    /// identical for 1, 2, or N workers.
-    pub fn generate_study_on(&self, pool: &ExecPool) -> Vec<Attack> {
+    /// generated in any order; shards are merged back in week order
+    /// with ids rebased to the concatenated position — exactly the ids
+    /// a serial week-by-week pass assigns. The output is bitwise
+    /// identical for 1, 2, or N workers and for any shard size.
+    ///
+    /// Memory discipline (the 10M+ scale path): each worker sorts its
+    /// own shard by `(start, id)` while it is small, and the ordered
+    /// streaming fold hands shards to
+    /// [`AttackColumns::merge_sorted_shard`] *as they complete*, each
+    /// one freed the moment it is spliced in. Consecutive shards
+    /// overlap only in the ≤ 30-minute companion spill past a week
+    /// boundary, which the merge holds in a tiny carry buffer — so the
+    /// study never materializes more than the merged population plus
+    /// the shards currently in flight, and no global end-of-run sort
+    /// (with its column-sized scratch buffers) is needed at all.
+    pub fn generate_study_on(&self, pool: &ExecPool) -> AttackColumns {
         let _span = obs::span!("generate");
         let per_week = obs::metrics::histogram("gen.attacks_per_week", &obs::metrics::COUNTS);
         let forks = obs::metrics::counter("gen.rng_forks");
         let weeks: Vec<i64> = (0..STUDY_WEEKS as i64).collect();
-        let chunk = simcore::pool::shard_size(weeks.len(), pool.workers());
-        let shards = pool.par_chunks_indexed(&weeks, chunk, |_, shard| {
-            let mut out = Vec::new();
-            for &week in shard {
-                // Each week forks exactly one stream off `week_root`.
-                forks.inc();
-                let before = out.len();
-                self.generate_week(week, &mut out);
-                per_week.record((out.len() - before) as u64);
-            }
-            out
-        });
-        obs::metrics::counter("gen.weeks").add(weeks.len() as u64);
-        let mut out: Vec<Attack> = Vec::with_capacity(shards.iter().map(Vec::len).sum());
-        for shard in shards {
-            let base = out.len() as u64;
-            out.extend(shard.into_iter().map(|mut a| {
-                a.id = AttackId(base + a.id.0);
-                a
-            }));
+        // Capped at 8 weeks per shard: the merge's high-water mark is
+        // the population plus the shards in flight, so shard size —
+        // not worker count — is the memory knob. (The output is
+        // invariant to the chunking; only the peak moves.)
+        let chunk = simcore::pool::shard_size(weeks.len(), pool.workers()).min(8);
+
+        struct Merge {
+            out: AttackColumns,
+            carry: AttackColumns,
+            assigned: u64,
         }
-        out.sort_by_key(|a| (a.start, a.id));
+        let merged = pool.par_chunks_fold(
+            &weeks,
+            chunk,
+            |_, shard| {
+                let mut out = AttackColumns::new();
+                for &week in shard {
+                    // Each week forks exactly one stream off `week_root`.
+                    forks.inc();
+                    let before = out.len();
+                    self.generate_week(week, &mut out);
+                    per_week.record((out.len() - before) as u64);
+                }
+                out.sort_by_start_id();
+                out
+            },
+            Merge {
+                out: AttackColumns::new(),
+                carry: AttackColumns::new(),
+                assigned: 0,
+            },
+            |m, idx, shard| {
+                // Rows at or past the next shard's first week are held
+                // back and spliced into that shard when it lands.
+                let next_week = (idx + 1) * chunk;
+                let bound = (next_week < weeks.len())
+                    .then(|| SimTime::from_weeks(weeks[next_week]).0 as u32);
+                let base = m.assigned;
+                m.assigned += shard.len() as u64;
+                m.out.merge_sorted_shard(shard, base, &mut m.carry, bound);
+            },
+        );
+        debug_assert!(merged.carry.is_empty(), "final shard must drain the carry");
+        debug_assert!(merged.out.is_sorted_by_start_id());
+        let mut out = merged.out;
+        out.shrink_to_fit();
+        obs::metrics::counter("gen.weeks").add(weeks.len() as u64);
         obs::metrics::counter("gen.attacks").add(out.len() as u64);
         out
     }
 
     /// Generate one study week into `out`. Ids continue from
-    /// `out.len()`, so accumulating weeks serially into one vector and
-    /// concatenating independently generated weeks agree exactly.
-    pub fn generate_week(&self, week: i64, out: &mut Vec<Attack>) {
+    /// `out.len()`, so accumulating weeks serially into one column set
+    /// and concatenating independently generated weeks agree exactly.
+    pub fn generate_week(&self, week: i64, out: &mut AttackColumns) {
         let mut ctx = WeekCtx {
             rng: self.week_root.fork(week as u64),
             next_id: out.len() as u64,
@@ -209,7 +246,7 @@ impl<'a> AttackGenerator<'a> {
                 let start = self.uniform_start(&mut ctx, week_start, days_in_week);
                 if let Some(a) = self.sample_attack(&mut ctx, class, start, None) {
                     self.maybe_companion(&mut ctx, &a, out);
-                    out.push(a);
+                    out.push(&a);
                 }
             }
         }
@@ -225,7 +262,7 @@ impl<'a> AttackGenerator<'a> {
             for _ in 0..n {
                 let start = self.uniform_start(&mut ctx, week_start, days_in_week);
                 if let Some(a) = self.sample_attack(&mut ctx, c.class, start, Some(c)) {
-                    out.push(a);
+                    out.push(&a);
                 }
             }
         }
@@ -300,8 +337,9 @@ impl<'a> AttackGenerator<'a> {
 
     /// With small probability, attach a companion attack of the other
     /// class against the same primary target (multi-vector attacks,
-    /// §7.1).
-    fn maybe_companion(&self, ctx: &mut WeekCtx, a: &Attack, out: &mut Vec<Attack>) {
+    /// §7.1). The companion row precedes its parent in the columns,
+    /// exactly as it preceded it in the old vector.
+    fn maybe_companion(&self, ctx: &mut WeekCtx, a: &Attack, out: &mut AttackColumns) {
         if !ctx.rng.chance(self.cfg.shape.multi_class_probability) {
             return;
         }
@@ -328,7 +366,7 @@ impl<'a> AttackGenerator<'a> {
             AttackClass::DirectPathSpoofed => self.cfg.shape.sample_spoof_space(&mut ctx.rng),
             _ => 0.0,
         };
-        out.push(Attack {
+        out.push(&Attack {
             id: ctx.next_attack_id(),
             class,
             vector,
@@ -480,14 +518,16 @@ impl<'a> AttackGenerator<'a> {
 }
 
 /// Convenience: generate a full study with default configuration.
-pub fn generate_default_study(plan: &InternetPlan, seed: u64) -> Vec<Attack> {
+pub fn generate_default_study(plan: &InternetPlan, seed: u64) -> AttackColumns {
     let rng = SimRng::new(seed);
     AttackGenerator::new(plan, GenConfig::default(), &rng).generate_study()
 }
 
 /// Weekly ground-truth attack counts per class (handy for calibration
-/// tests and ablations).
-pub fn weekly_class_counts(attacks: &[Attack]) -> Vec<[u64; 3]> {
+/// tests and ablations). Accepts any row-view iterator, so it works on
+/// [`AttackColumns::iter`] and on `&[Attack]` via
+/// `attacks.iter().map(Attack::view)`.
+pub fn weekly_class_counts<'a>(attacks: impl IntoIterator<Item = AttackRef<'a>>) -> Vec<[u64; 3]> {
     let mut out = vec![[0u64; 3]; STUDY_WEEKS];
     for a in attacks {
         let w = a.start.week_index();
@@ -524,8 +564,8 @@ mod tests {
 
     /// Shared study for the read-only assertions below (regenerating it
     /// per test would dominate the suite's runtime).
-    fn shared_study() -> &'static [Attack] {
-        static STUDY: OnceLock<Vec<Attack>> = OnceLock::new();
+    fn shared_study() -> &'static AttackColumns {
+        static STUDY: OnceLock<AttackColumns> = OnceLock::new();
         STUDY.get_or_init(|| {
             let rng = SimRng::new(5);
             AttackGenerator::new(small_plan(), small_cfg(), &rng).generate_study()
@@ -547,9 +587,9 @@ mod tests {
         let rng = SimRng::new(5);
         let a = AttackGenerator::new(plan, small_cfg(), &rng).generate_study();
         let b = shared_study();
-        assert_eq!(a.len(), b.len());
-        assert_eq!(a.first().map(|x| x.id), b.first().map(|x| x.id));
-        assert_eq!(a.last().map(|x| x.start), b.last().map(|x| x.start));
+        // Column-wise equality is the strongest form: every field of
+        // every record, including the shared target arena, must agree.
+        assert_eq!(&a, b);
     }
 
     #[test]
@@ -568,8 +608,8 @@ mod tests {
     fn attacks_sorted_and_inside_study() {
         let attacks = shared_study();
         assert!(attacks.len() > 10_000, "got {}", attacks.len());
-        for w in attacks.windows(2) {
-            assert!(w[0].start <= w[1].start);
+        for w in attacks.start_secs.windows(2) {
+            assert!(w[0] <= w[1]);
         }
         assert!(attacks.iter().all(|a| a.start.in_study()));
     }
@@ -577,7 +617,7 @@ mod tests {
     #[test]
     fn ids_unique() {
         let attacks = shared_study();
-        let mut ids: Vec<u64> = attacks.iter().map(|a| a.id.0).collect();
+        let mut ids: Vec<u32> = attacks.id.clone();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), attacks.len());
@@ -586,7 +626,7 @@ mod tests {
     #[test]
     fn class_invariants() {
         let attacks = shared_study();
-        for a in attacks {
+        for a in attacks.iter() {
             match a.class {
                 AttackClass::ReflectionAmplification => {
                     assert!(a.reflectors.is_some(), "RA without reflectors");
@@ -611,7 +651,7 @@ mod tests {
     #[test]
     fn carpet_attacks_exist_and_are_contiguous() {
         let attacks = shared_study();
-        let carpets: Vec<&Attack> = attacks.iter().filter(|a| a.is_carpet_bombing()).collect();
+        let carpets: Vec<AttackRef> = attacks.iter().filter(|a| a.is_carpet_bombing()).collect();
         assert!(!carpets.is_empty());
         for c in carpets {
             for pair in c.targets.windows(2) {
@@ -626,7 +666,7 @@ mod tests {
         // Count (day, ip) pairs hit by both classes.
         use std::collections::HashMap;
         let mut seen: HashMap<(i64, Ipv4), (bool, bool)> = HashMap::new();
-        for a in attacks {
+        for a in attacks.iter() {
             let e = seen
                 .entry((a.start.day_index(), a.primary_target()))
                 .or_default();
@@ -643,11 +683,10 @@ mod tests {
 
     #[test]
     fn ra_shifts_to_dp_over_time() {
-        let mut attacks = shared_study().to_vec();
         // Baseline dynamics only — the scaled-down test baselines would
         // otherwise be drowned out by fixed-rate campaigns.
-        attacks.retain(|a| a.campaign.is_none());
-        let weekly = weekly_class_counts(&attacks);
+        let weekly =
+            weekly_class_counts(shared_study().iter().filter(|a| a.campaign.is_none()));
         let dp_2019: u64 = weekly[..26].iter().map(|w| w[0] + w[1]).sum();
         let ra_2019: u64 = weekly[..26].iter().map(|w| w[2]).sum();
         let dp_2022: u64 = weekly[160..186].iter().map(|w| w[0] + w[1]).sum();
@@ -660,7 +699,7 @@ mod tests {
     fn campaign_attacks_tagged_and_scoped() {
         let plan = small_plan();
         let attacks = shared_study();
-        let brazil: Vec<&Attack> = attacks
+        let brazil: Vec<AttackRef> = attacks
             .iter()
             .filter(|a| a.campaign == Some(0))
             .collect();
@@ -681,7 +720,7 @@ mod tests {
         let plan = small_plan();
         let attacks = shared_study();
         let dp_share_protected = |lo: i64, hi: i64| {
-            let dp: Vec<&Attack> = attacks
+            let dp: Vec<AttackRef> = attacks
                 .iter()
                 .filter(|a| {
                     a.class.is_direct_path()
@@ -707,7 +746,7 @@ mod tests {
     #[test]
     fn weekly_counts_cover_all_weeks() {
         let attacks = shared_study();
-        let weekly = weekly_class_counts(attacks);
+        let weekly = weekly_class_counts(attacks.iter());
         assert_eq!(weekly.len(), STUDY_WEEKS);
         let empty_weeks = weekly
             .iter()

@@ -10,6 +10,7 @@
 pub mod attack;
 pub mod booters;
 pub mod campaigns;
+pub mod columns;
 pub mod generator;
 pub mod observed;
 pub mod packets;
@@ -21,6 +22,7 @@ pub mod timeline;
 pub use attack::{Attack, AttackClass, AttackId, AttackVector, ReflectorUse};
 pub use booters::{Booter, BooterMarket, BooterMarketParams};
 pub use campaigns::{Campaign, CampaignScope};
+pub use columns::{AttackColumns, AttackRef, ObservationColumns, ObservedRef};
 pub use generator::{generate_default_study, weekly_class_counts, AttackGenerator, GenConfig};
 pub use observed::{
     distinct_target_tuples, distinct_target_tuples_of, weekly_counts, ObservedAttack,

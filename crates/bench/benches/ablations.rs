@@ -38,14 +38,15 @@ fn bench_fidelity_ablation(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(12);
     let gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
-    let mut attacks = Vec::new();
+    let mut cols = attackgen::AttackColumns::new();
     for week in 0..26 {
-        gen.generate_week(week, &mut attacks);
+        gen.generate_week(week, &mut cols);
     }
-    let rsdos: Vec<&attackgen::Attack> = attacks
+    let rsdos: Vec<attackgen::Attack> = cols
         .iter()
         .filter(|a| a.class == AttackClass::DirectPathSpoofed)
         .take(200)
+        .map(|a| a.to_attack())
         .collect();
     let tele = Telescope::ucsd(&plan);
     let mut group = c.benchmark_group("fidelity_ablation");
@@ -98,7 +99,7 @@ fn bench_carpet_reconstruction(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(14);
     let gen = AttackGenerator::new(&plan, small_gen_cfg(true), &root);
-    let attacks = gen.generate_study();
+    let attacks = gen.generate_study().to_vec();
     let hp = Honeypot::hopscotch(&plan);
     let raw = hp.observe_all(&attacks, &root);
     let mut group = c.benchmark_group("carpet_reconstruction");
@@ -116,7 +117,7 @@ fn bench_fanout_ablation(c: &mut Criterion) {
     let plan = plan();
     let root = SimRng::new(15);
     let gen = AttackGenerator::new(&plan, small_gen_cfg(false), &root);
-    let attacks = gen.generate_study();
+    let attacks = gen.generate_study().to_vec();
     let ucsd = Telescope::ucsd(&plan);
     let orion = Telescope::orion(&plan);
     let hops = Honeypot::hopscotch(&plan);

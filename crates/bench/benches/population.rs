@@ -1,0 +1,157 @@
+//! Columnar population throughput benchmark (DESIGN.md §9): measures
+//! attacks/sec for the three pipeline stages — generate (columnar
+//! population build), observe (the eight observatories over the shared
+//! target arena), and project (weekly series + distinct target tuples)
+//! — at the 1M and 10M attack scales, and writes the results to
+//! `BENCH_population.json`.
+//!
+//! Plain `main` (harness = false): a 10M-attack run is a single
+//! long-form measurement, not a Criterion sample loop, and the stages
+//! share one process-global pool and metrics registry.
+//!
+//! Memory (peak RSS, bytes/attack) is deliberately *not* measured here:
+//! `VmHWM` is monotone per process, so a multi-scale bench would report
+//! the largest scale's peak for every earlier phase. Per-stage peaks
+//! come from `examples/scale_probe.rs` (one process per stage/scale;
+//! see `make scale`).
+
+use attackgen::AttackGenerator;
+use ddoscovery::{ObsId, StudyConfig, StudyRun};
+use netmodel::InternetPlan;
+use simcore::{ExecPool, SimRng};
+
+/// Approximate attack volume of `StudyConfig::paper()`, used to scale
+/// the per-week base rates toward the requested target.
+const PAPER_VOLUME: f64 = 600_000.0;
+
+const SCALES: [(u64, &str); 2] = [(1_000_000, "1M"), (10_000_000, "10M")];
+
+fn config(target: f64) -> StudyConfig {
+    let mut cfg = StudyConfig::paper();
+    cfg.seed = 0x5CA1_AB1E;
+    let scale = (target / PAPER_VOLUME).max(0.01);
+    cfg.gen.timeline.dp_base_per_week *= scale;
+    cfg.gen.timeline.ra_base_per_week *= scale;
+    // One cold measured run per scale: no cross-run reuse, no gaps.
+    cfg.stage_cache = Some(0);
+    cfg.missing_data = false;
+    cfg
+}
+
+struct ScaleResult {
+    label: &'static str,
+    attacks: u64,
+    observations: u64,
+    cells: u64,
+    generate_aps: f64,
+    observe_aps: f64,
+    project_aps: f64,
+}
+
+/// One cold measurement at a given target scale. The generator is
+/// deterministic for a fixed config, so the standalone generate timing
+/// matches the generate phase inside `execute_on`; observe time is the
+/// full execute wall time minus that generate time.
+fn probe(target: u64, label: &'static str) -> ScaleResult {
+    let cfg = config(target as f64);
+    let pool = ExecPool::global();
+
+    // Generate: columnar population build, timed in isolation.
+    let root = SimRng::new(cfg.seed);
+    let mut plan_rng = root.fork_named("plan");
+    let plan = InternetPlan::build(&cfg.net, &mut plan_rng);
+    let watch = obs::Stopwatch::start();
+    let attacks =
+        AttackGenerator::new(&plan, cfg.gen.clone(), &root).generate_study_on(&pool);
+    let generate_ns = watch.elapsed_ns();
+    let n = attacks.len() as u64;
+    drop(attacks);
+    drop(plan);
+
+    // Observe: full execute (generate + observe) minus the generate
+    // time measured above on the identical deterministic workload.
+    let watch = obs::Stopwatch::start();
+    let run = StudyRun::execute_on(&cfg, &pool);
+    let execute_ns = watch.elapsed_ns();
+    let observe_ns = execute_ns.saturating_sub(generate_ns).max(1);
+    let observations: u64 = ObsId::ALL
+        .iter()
+        .map(|&id| run.observations(id).len() as u64)
+        .sum();
+
+    // Project: every weekly series + distinct-tuple projection.
+    let watch = obs::Stopwatch::start();
+    let mut cells = 0u64;
+    for &id in &ObsId::ALL {
+        cells += run.weekly_series(id).values.len() as u64;
+        cells += run.target_tuples(id).len() as u64;
+    }
+    cells += run.netscout_baseline_tuples().len() as u64;
+    cells += run.akamai_tuples().len() as u64;
+    let project_ns = watch.elapsed_ns().max(1);
+
+    let aps = |ns: u64| n as f64 * 1e9 / ns as f64;
+    ScaleResult {
+        label,
+        attacks: n,
+        observations,
+        cells,
+        generate_aps: aps(generate_ns.max(1)),
+        observe_aps: aps(observe_ns),
+        project_aps: aps(project_ns),
+    }
+}
+
+fn main() {
+    let results: Vec<ScaleResult> = SCALES
+        .iter()
+        .map(|&(target, label)| {
+            let r = probe(target, label);
+            println!(
+                "population {label}: {} attacks — generate {:.0}/s, observe {:.0}/s, \
+                 project {:.0}/s ({} observations, {} cells)",
+                r.attacks, r.generate_aps, r.observe_aps, r.project_aps, r.observations, r.cells
+            );
+            r
+        })
+        .collect();
+
+    let scales = results
+        .iter()
+        .map(|r| {
+            (
+                r.label.to_string(),
+                serde::Value::Object(vec![
+                    ("attacks".into(), serde::Value::UInt(r.attacks)),
+                    ("observations".into(), serde::Value::UInt(r.observations)),
+                    ("projection_cells".into(), serde::Value::UInt(r.cells)),
+                    (
+                        "generate_attacks_per_sec".into(),
+                        serde::Value::Float(r.generate_aps),
+                    ),
+                    (
+                        "observe_attacks_per_sec".into(),
+                        serde::Value::Float(r.observe_aps),
+                    ),
+                    (
+                        "project_attacks_per_sec".into(),
+                        serde::Value::Float(r.project_aps),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+
+    let json = serde_json::to_string_pretty(&serde::Value::Object(vec![
+        (
+            "benchmark".into(),
+            serde::Value::Str("columnar_population".into()),
+        ),
+        ("scales".into(), serde::Value::Object(scales)),
+    ]))
+    .expect("bench summary serialization is infallible");
+
+    std::fs::write("BENCH_population.json", &json).expect("cannot write BENCH_population.json");
+    println!("{json}");
+    println!("population: wrote BENCH_population.json");
+}

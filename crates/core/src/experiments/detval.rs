@@ -20,12 +20,15 @@ pub fn detval(run: &StudyRun) -> ExperimentResult {
 
     // --- Telescope: event verdict vs Corsaro over synthesized
     // backscatter.
-    let rsdos: Vec<&attackgen::Attack> = run
+    // This cold validation path materializes its ~120-row samples from
+    // the columnar population (the packet synthesizers take &Attack).
+    let rsdos: Vec<attackgen::Attack> = run
         .attacks
         .iter()
         .filter(|a| a.class == AttackClass::DirectPathSpoofed)
         .step_by((run.attacks.len() / (SAMPLE * 4)).max(1))
         .take(SAMPLE)
+        .map(|a| a.to_attack())
         .collect();
     let mut tel_agree = 0usize;
     let mut tel_total = 0usize;
@@ -51,7 +54,7 @@ pub fn detval(run: &StudyRun) -> ExperimentResult {
     // with selection forced (m = 1) vs the detector.
     let hp_cfg = HoneypotConfig::hopscotch(&run.plan);
     let sensor = hp_cfg.sensors[0];
-    let ra: Vec<&attackgen::Attack> = run
+    let ra: Vec<attackgen::Attack> = run
         .attacks
         .iter()
         .filter(|a| {
@@ -61,6 +64,7 @@ pub fn detval(run: &StudyRun) -> ExperimentResult {
         })
         .step_by((run.attacks.len() / (SAMPLE * 4)).max(1))
         .take(SAMPLE)
+        .map(|a| a.to_attack())
         .collect();
     let mut hp_agree = 0usize;
     let mut hp_total = 0usize;

@@ -161,13 +161,13 @@ pub fn protocols(run: &StudyRun) -> ExperimentResult {
         .collect();
     let per_vector_targets = |id: ObsId| -> HashMap<netmodel::AmpVector, HashSet<(i64, netmodel::Ipv4)>> {
         let mut out: HashMap<netmodel::AmpVector, HashSet<(i64, netmodel::Ipv4)>> = HashMap::new();
-        for o in run.observations(id) {
+        for o in run.observations(id).iter() {
             let Some(&v) = vector_of.get(&o.attack_id.0) else {
                 continue;
             };
             let day = o.start.day_index();
             let set = out.entry(v).or_default();
-            for &t in &o.targets {
+            for &t in o.targets {
                 set.insert((day, t));
             }
         }
@@ -251,8 +251,11 @@ pub fn interference(run: &StudyRun) -> ExperimentResult {
                 if a.class != attackgen::AttackClass::DirectPathSpoofed {
                     continue;
                 }
-                baseline += tele.observe(a, &root).is_some() as usize;
-                let truncated = model.apply(a, &run.plan, &root);
+                // The mitigation model rewrites attack fields, so this
+                // cold path materializes the row once per DPS attack.
+                let a = a.to_attack();
+                baseline += tele.observe(&a, &root).is_some() as usize;
+                let truncated = model.apply(&a, &run.plan, &root);
                 mitigated += tele.observe(&truncated, &root).is_some() as usize;
             }
             let lost = 1.0 - mitigated as f64 / baseline.max(1) as f64;
@@ -301,14 +304,16 @@ pub fn rtbh(run: &StudyRun) -> ExperimentResult {
     let observed_ids: HashSet<u64> = run
         .observations(ObsId::IxpDp)
         .iter()
-        .chain(run.observations(ObsId::IxpRa))
+        .chain(run.observations(ObsId::IxpRa).iter())
         .map(|o| o.attack_id.0)
         .collect();
-    let blackholed: Vec<&attackgen::Attack> = run
+    let blackholed_rows: Vec<attackgen::Attack> = run
         .attacks
         .iter()
         .filter(|a| observed_ids.contains(&a.id.0))
+        .map(|a| a.to_attack())
         .collect();
+    let blackholed: Vec<&attackgen::Attack> = blackholed_rows.iter().collect();
     let root = SimRng::new(run.config.seed).fork_named("observatories");
     let events = blackhole_events(&blackholed, &RtbhParams::default(), &root);
     let accepted = events
@@ -317,7 +322,9 @@ pub fn rtbh(run: &StudyRun) -> ExperimentResult {
         .count();
     let mut body;
     let csv;
-    match rtbh_stats(&events, &run.attacks) {
+    // Every event's attack id is in the blackholed subset, so the
+    // stats join needs only those rows (missing ids are skipped).
+    match rtbh_stats(&events, &blackholed_rows) {
         Some(s) => {
             body = format!(
                 "Blackhole events derived from the {} IXP-observed attacks: {}\n\
@@ -419,7 +426,7 @@ pub fn l7_growth(run: &StudyRun) -> ExperimentResult {
         .collect();
     let mut l7 = vec![0.0; simcore::STUDY_WEEKS];
     let mut other = vec![0.0; simcore::STUDY_WEEKS];
-    for o in run.observations(ObsId::NetscoutDp) {
+    for o in run.observations(ObsId::NetscoutDp).iter() {
         let w = o.start.week_index();
         if !(0..simcore::STUDY_WEEKS as i64).contains(&w) {
             continue;
@@ -484,7 +491,7 @@ pub fn population(run: &StudyRun) -> ExperimentResult {
             ("DP", AttackClass::is_direct_path as fn(AttackClass) -> bool),
             ("RA", AttackClass::is_reflection as fn(AttackClass) -> bool),
         ] {
-            let subset: Vec<&attackgen::Attack> = run
+            let subset: Vec<attackgen::AttackRef<'_>> = run
                 .attacks
                 .iter()
                 .filter(|a| a.start >= lo && a.start < hi && pred(a.class))

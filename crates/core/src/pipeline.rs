@@ -13,12 +13,11 @@
 use crate::scenario::StudyConfig;
 use crate::stagecache::{self, StageCache, StageFingerprints};
 use analytics::{TargetTuple, WeeklySeries};
-use attackgen::{
-    distinct_target_tuples, distinct_target_tuples_of, weekly_counts, Attack, AttackClass,
-    AttackGenerator, ObservedAttack,
+use attackgen::{AttackColumns, AttackGenerator, AttackRef, ObservationColumns};
+use flowmon::{
+    split_by_class_columns, Akamai, AlertColumns, IxpBlackholing, IxpDetection, Netscout,
 };
-use flowmon::{split_by_class, Akamai, IxpBlackholing, IxpDetection, Netscout, NetscoutAlert};
-use honeypot::{reconstruct_carpet_attacks, Honeypot};
+use honeypot::{reconstruct_carpet_columns, Honeypot};
 use netmodel::InternetPlan;
 use obs::metrics::Counter;
 use serde::{Deserialize, Serialize};
@@ -235,23 +234,51 @@ struct ObsTask {
     shard: usize,
 }
 
-/// Heterogeneous per-shard observatory output.
+/// Heterogeneous per-shard observatory output, already columnar. The
+/// flow monitors split their two published series *per shard*; since
+/// shards are input-ordered and merged in task order, per-class
+/// concatenation reproduces the merge-then-split row order exactly.
 enum ShardOut {
-    Plain(Vec<ObservedAttack>),
-    IxpTagged(Vec<(IxpDetection, ObservedAttack)>),
-    AkamaiTagged(Vec<(AttackClass, ObservedAttack)>),
-    Alerts(Vec<NetscoutAlert>),
+    Plain(ObservationColumns),
+    Ixp {
+        ra: ObservationColumns,
+        dp: ObservationColumns,
+    },
+    Akamai {
+        ra: ObservationColumns,
+        dp: ObservationColumns,
+    },
+    Alerts(AlertColumns),
+}
+
+/// Record the process peak RSS (`VmHWM`) after a pipeline stage: once
+/// under `run.peak_rss.<stage>` for per-stage attribution and once
+/// under the overall `run.peak_rss` gauge, both of which land in the
+/// JSON manifest and the stderr summary table. A pure side channel —
+/// no-op where procfs is unavailable.
+fn record_peak_rss(stage: &str) {
+    if let Some(bytes) = obs::peak_rss_bytes() {
+        obs::metrics::gauge(&format!("run.peak_rss.{stage}")).set(bytes as f64);
+        obs::metrics::gauge("run.peak_rss").set(bytes as f64);
+    }
 }
 
 /// Monomorphic plain-observer shard: one instantiation per call site,
 /// so the per-attack observe call is direct (and inlinable) instead of
 /// an opaque `dyn Fn` vtable dispatch in the hottest loop of the
-/// fan-out.
-fn observe_plain<F: Fn(&Attack) -> Option<ObservedAttack>>(
-    slice: &[Attack],
+/// fan-out. The observer appends detections straight into a columnar
+/// sink — no per-observation `Vec<Ipv4>` ever exists.
+fn observe_plain<F: Fn(AttackRef<'_>, &mut ObservationColumns) -> bool>(
+    attacks: &AttackColumns,
+    lo: usize,
+    hi: usize,
     observe: F,
 ) -> ShardOut {
-    ShardOut::Plain(slice.iter().filter_map(observe).collect())
+    let mut out = ObservationColumns::new();
+    for i in lo..hi {
+        observe(attacks.get(i), &mut out);
+    }
+    ShardOut::Plain(out)
 }
 
 /// A completed study run. The stage outputs (`plan`, `attacks`, the
@@ -261,12 +288,13 @@ pub struct StudyRun {
     pub config: StudyConfig,
     /// Stage-1 output: the Internet plan.
     pub plan: Arc<InternetPlan>,
-    /// Stage-2 output: the ground-truth attack stream.
-    pub attacks: Arc<[Attack]>,
+    /// Stage-2 output: the ground-truth attack stream, columnar (one
+    /// shared target arena instead of a `Vec<Ipv4>` per attack).
+    pub attacks: Arc<AttackColumns>,
     /// Stage-3 outputs: observation streams indexed by [`ObsId::index`].
-    observations: Vec<Arc<Vec<ObservedAttack>>>,
+    observations: Vec<Arc<ObservationColumns>>,
     /// All Netscout alerts (needed for the §7.2 baseline sample).
-    pub netscout_alerts: Arc<Vec<NetscoutAlert>>,
+    pub netscout_alerts: Arc<AlertColumns>,
     /// The Netscout instance of this plan, kept for the baseline
     /// sample (rebuilding it per projection call was the old
     /// `netscout_baseline_tuples` hot spot).
@@ -350,14 +378,19 @@ impl StudyRun {
             })
         });
 
+        record_peak_rss("plan");
+
         // Stage 2 — attacks (inputs: plan + config.gen + seed).
         let attacks = cache.attacks(bound, fp.attacks, || {
             crate::faults::with_chaos(chaos.as_ref(), "stage.attacks", fp.attacks, || {
-                AttackGenerator::new(&plan, config.gen.clone(), &root)
-                    .generate_study_on(pool)
-                    .into()
+                Arc::new(
+                    AttackGenerator::new(&plan, config.gen.clone(), &root)
+                        .generate_study_on(pool),
+                )
             })
         });
+
+        record_peak_rss("attacks");
 
         let obs_root = root.fork_named("observatories");
         // Always rebuilt (cheap, per-plan): the §7.2 baseline
@@ -382,7 +415,7 @@ impl StudyRun {
         // stream has its own content key; a source observatory
         // re-observes only if at least one of its output streams
         // missed.
-        let mut streams: Vec<Option<Arc<Vec<ObservedAttack>>>> = ObsId::ALL
+        let mut streams: Vec<Option<Arc<ObservationColumns>>> = ObsId::ALL
             .iter()
             .map(|&id| cache.get_observations(bound, fp.observation(id)))
             .collect();
@@ -430,7 +463,7 @@ impl StudyRun {
             // concatenation below reproduces each serial `observe_all`
             // exactly.
             let chunk = simcore::pool::shard_size(attacks.len(), pool.workers());
-            let n_shards = attacks.chunks(chunk).count().max(1);
+            let n_shards = attacks.len().div_ceil(chunk).max(1);
             let tasks: Vec<ObsTask> = (0..N_OBSERVATORIES)
                 .filter(|&source| needed[source])
                 .flat_map(|observatory| {
@@ -439,93 +472,123 @@ impl StudyRun {
                 .collect();
             let shard_ns =
                 obs::metrics::histogram("observe.shard_ns", &obs::metrics::LATENCY_NS);
-            let outputs = pool.par_chunks_indexed(&tasks, 1, |_, task| {
+
+            // Per-source accumulators the ordered fold below appends
+            // into. Tasks are source-major / shard-minor and the fold
+            // consumes results in task order, so each source's stream
+            // is the concatenation of its shards in attack order —
+            // exactly a serial `observe_all` — while every shard's
+            // buffers free as soon as they are spliced in.
+            let mut plain_streams: Vec<ObservationColumns> =
+                (0..5).map(|_| ObservationColumns::new()).collect();
+            let mut ixp_ra = ObservationColumns::new();
+            let mut ixp_dp = ObservationColumns::new();
+            let mut akamai_ra = ObservationColumns::new();
+            let mut akamai_dp = ObservationColumns::new();
+            let mut alerts_raw = AlertColumns::new();
+            pool.par_chunks_fold(&tasks, 1, |_, task| {
                 let watch = obs::Stopwatch::start();
                 let ObsTask { observatory, shard } = task[0];
                 let lo = shard * chunk;
                 let hi = (lo + chunk).min(attacks.len());
-                let slice = &attacks[lo..hi];
                 let out = match observatory {
-                    0 => observe_plain(slice, |a| ucsd.observe(a, &obs_root)),
-                    1 => observe_plain(slice, |a| orion.observe(a, &obs_root)),
-                    2 => observe_plain(slice, |a| hopscotch.observe(a, &obs_root)),
-                    3 => observe_plain(slice, |a| amppot.observe(a, &obs_root)),
-                    4 => observe_plain(slice, |a| newkid.observe(a, &obs_root)),
-                    5 => ShardOut::IxpTagged(
-                        slice.iter().filter_map(|a| ixp.observe(a, &obs_root)).collect(),
-                    ),
-                    6 => ShardOut::AkamaiTagged(
-                        slice.iter().filter_map(|a| akamai.observe(a, &obs_root)).collect(),
-                    ),
-                    _ => ShardOut::Alerts(
-                        slice
-                            .iter()
-                            .filter_map(|a| netscout.observe(a, &obs_root))
-                            .collect(),
-                    ),
+                    0 => observe_plain(&attacks, lo, hi, |a, out| {
+                        ucsd.observe_into(a, &obs_root, out)
+                    }),
+                    1 => observe_plain(&attacks, lo, hi, |a, out| {
+                        orion.observe_into(a, &obs_root, out)
+                    }),
+                    2 => observe_plain(&attacks, lo, hi, |a, out| {
+                        hopscotch.observe_into(a, &obs_root, out)
+                    }),
+                    3 => observe_plain(&attacks, lo, hi, |a, out| {
+                        amppot.observe_into(a, &obs_root, out)
+                    }),
+                    4 => observe_plain(&attacks, lo, hi, |a, out| {
+                        newkid.observe_into(a, &obs_root, out)
+                    }),
+                    5 => {
+                        let mut ra = ObservationColumns::new();
+                        let mut dp = ObservationColumns::new();
+                        for i in lo..hi {
+                            let a = attacks.get(i);
+                            match ixp.observe_view(a, &obs_root) {
+                                Some(IxpDetection::ReflectionAmplification) => {
+                                    ra.push_row(a.id, a.start, a.targets)
+                                }
+                                Some(IxpDetection::DirectPath) => {
+                                    dp.push_row(a.id, a.start, a.targets)
+                                }
+                                None => {}
+                            }
+                        }
+                        ShardOut::Ixp { ra, dp }
+                    }
+                    6 => {
+                        let mut ra = ObservationColumns::new();
+                        let mut dp = ObservationColumns::new();
+                        for i in lo..hi {
+                            let a = attacks.get(i);
+                            // The alert class is the attack class, so the
+                            // RA/DP routing is known before observing.
+                            let out = if a.class.is_reflection() { &mut ra } else { &mut dp };
+                            akamai.observe_into(a, &obs_root, out);
+                        }
+                        ShardOut::Akamai { ra, dp }
+                    }
+                    _ => {
+                        let mut out = AlertColumns::new();
+                        for i in lo..hi {
+                            let a = attacks.get(i);
+                            if let Some((class, severity)) = netscout.observe_view(a, &obs_root)
+                            {
+                                out.push(a, class, severity);
+                            }
+                        }
+                        ShardOut::Alerts(out)
+                    }
                 };
                 if obs::enabled() {
                     shard_ns.record(watch.elapsed_ns());
                 }
                 out
+            }, (), |(), idx, out| match out {
+                ShardOut::Plain(v) => plain_streams[tasks[idx].observatory].append(v),
+                ShardOut::Ixp { ra, dp } => {
+                    ixp_ra.append(ra);
+                    ixp_dp.append(dp);
+                }
+                ShardOut::Akamai { ra, dp } => {
+                    akamai_ra.append(ra);
+                    akamai_dp.append(dp);
+                }
+                ShardOut::Alerts(v) => alerts_raw.append(v),
             });
             drop(observe_span);
             let _merge_span = obs::span!("merge");
-
-            // Merge shard outputs back into one stream per source.
-            let mut plain_streams: Vec<Vec<ObservedAttack>> =
-                (0..5).map(|_| Vec::new()).collect();
-            let mut ixp_tagged: Vec<(IxpDetection, ObservedAttack)> = Vec::new();
-            let mut akamai_tagged: Vec<(AttackClass, ObservedAttack)> = Vec::new();
-            let mut alerts_raw: Vec<NetscoutAlert> = Vec::new();
-            for (task, out) in tasks.iter().zip(outputs) {
-                match out {
-                    ShardOut::Plain(v) => plain_streams[task.observatory].extend(v),
-                    ShardOut::IxpTagged(v) => ixp_tagged.extend(v),
-                    ShardOut::AkamaiTagged(v) => akamai_tagged.extend(v),
-                    ShardOut::Alerts(v) => alerts_raw.extend(v),
-                }
-            }
-            let [ucsd_raw, orion_raw, hopscotch_raw, amppot_raw, newkid_raw]: [Vec<
-                ObservedAttack,
-            >; 5] = plain_streams.try_into().expect("five plain streams");
+            let [ucsd_raw, orion_raw, hopscotch_raw, amppot_raw, newkid_raw]: [ObservationColumns;
+                5] = plain_streams.try_into().expect("five plain streams");
 
             // Ordered post-passes: CCC / Appendix-I carpet
             // reconstruction merges concurrent same-prefix honeypot
-            // events; the flow monitors split into their published
-            // (RA, DP) series. A source that did not run contributes
-            // empty vectors here and its `store` below is a no-op (its
-            // streams are already resolved from cache).
+            // events; the Netscout alert stream splits into its
+            // published (RA, DP) series. A source that did not run
+            // contributes empty columns here and its `store` below is a
+            // no-op (its streams are already resolved from cache).
             let gap = i64::from(config.obs.carpet_gap_secs);
-            let hopscotch_obs = reconstruct_carpet_attacks(&plan, &hopscotch_raw, gap);
-            let amppot_obs = reconstruct_carpet_attacks(&plan, &amppot_raw, gap);
-            let newkid_obs = reconstruct_carpet_attacks(&plan, &newkid_raw, gap);
+            let hopscotch_obs = reconstruct_carpet_columns(&plan, &hopscotch_raw, gap);
+            let amppot_obs = reconstruct_carpet_columns(&plan, &amppot_raw, gap);
+            let newkid_obs = reconstruct_carpet_columns(&plan, &newkid_raw, gap);
 
-            let mut ixp_ra = Vec::new();
-            let mut ixp_dp = Vec::new();
-            for (det, o) in ixp_tagged {
-                match det {
-                    IxpDetection::ReflectionAmplification => ixp_ra.push(o),
-                    IxpDetection::DirectPath => ixp_dp.push(o),
-                }
-            }
-            let mut akamai_ra = Vec::new();
-            let mut akamai_dp = Vec::new();
-            for (class, o) in akamai_tagged {
-                if class.is_reflection() {
-                    akamai_ra.push(o);
-                } else {
-                    akamai_dp.push(o);
-                }
-            }
-            let (netscout_ra, netscout_dp) = split_by_class(&alerts_raw);
+            let (netscout_ra, netscout_dp) = split_by_class_columns(&alerts_raw);
 
             // Publish every freshly observed stream: into the stage
             // cache for the next run, into `streams` for this one.
             // Already-resolved slots keep their cached Arc (a source
             // can re-run because its *sibling* stream missed).
-            let mut store = |id: ObsId, v: Vec<ObservedAttack>| {
+            let mut store = |id: ObsId, mut v: ObservationColumns| {
                 if streams[id.index()].is_none() {
+                    v.shrink_to_fit();
                     let arc = Arc::new(v);
                     cache.insert_observations(bound, fp.observation(id), Arc::clone(&arc));
                     streams[id.index()] = Some(arc);
@@ -543,13 +606,16 @@ impl StudyRun {
             store(ObsId::NetscoutDp, netscout_dp);
             store(ObsId::NetscoutRa, netscout_ra);
             if alerts.is_none() {
+                alerts_raw.shrink_to_fit();
                 let arc = Arc::new(alerts_raw);
                 cache.insert_alerts(bound, fp.netscout_alerts, Arc::clone(&arc));
                 alerts = Some(arc);
             }
         }
 
-        let observations: Vec<Arc<Vec<ObservedAttack>>> = streams
+        record_peak_rss("observe");
+
+        let observations: Vec<Arc<ObservationColumns>> = streams
             .into_iter()
             .map(|s| s.expect("every observation stream resolved"))
             .collect();
@@ -576,16 +642,16 @@ impl StudyRun {
         }
     }
 
-    /// Observations of one observatory.
-    pub fn observations(&self, id: ObsId) -> &[ObservedAttack] {
-        self.observations[id.index()].as_slice()
+    /// Observations of one observatory, columnar.
+    pub fn observations(&self, id: ObsId) -> &ObservationColumns {
+        &self.observations[id.index()]
     }
 
     /// Raw weekly attack counts (§5 aggregation), with the paper's
     /// missing-data gaps masked when configured. Memoized per series.
     pub fn weekly_series(&self, id: ObsId) -> &WeeklySeries {
         memo(&self.cache.weekly[id.index()], &self.cache.weekly_counters, || {
-            let mut s = WeeklySeries::new(id.name(), weekly_counts(self.observations(id)));
+            let mut s = WeeklySeries::new(id.name(), self.observations(id).weekly_counts());
             if self.config.missing_data {
                 match id {
                     ObsId::Orion => {
@@ -636,7 +702,7 @@ impl StudyRun {
     pub fn target_tuples(&self, id: ObsId) -> &[TargetTuple] {
         let v: &Vec<TargetTuple> =
             memo(&self.cache.tuples[id.index()], &self.cache.tuples_counters, || {
-                distinct_target_tuples(self.observations(id))
+                self.observations(id).distinct_target_tuples()
             });
         v
     }
@@ -648,10 +714,17 @@ impl StudyRun {
     pub fn netscout_baseline_tuples(&self) -> &[TargetTuple] {
         let v: &Vec<TargetTuple> =
             memo(&self.cache.baseline, &self.cache.baseline_counters, || {
-                let sample = self
-                    .netscout
-                    .baseline_sample(&self.netscout_alerts, &self.obs_root);
-                distinct_target_tuples_of(sample.into_iter().map(|al| &al.observation))
+                let alerts = &self.netscout_alerts;
+                let mut tuples: Vec<TargetTuple> = Vec::new();
+                for i in 0..alerts.len() {
+                    let row = alerts.obs.get(i);
+                    if self.netscout.baseline_keep(row.attack_id.0, &self.obs_root) {
+                        tuples.extend(row.target_tuples());
+                    }
+                }
+                tuples.sort_unstable();
+                tuples.dedup();
+                tuples
             });
         v
     }
@@ -712,6 +785,17 @@ mod tests {
         }
     }
 
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_gauges_recorded() {
+        let _ = quick_run();
+        assert!(obs::metrics::gauge("run.peak_rss").get() > 0.0);
+        for stage in ["plan", "attacks", "observe"] {
+            let g = obs::metrics::gauge(&format!("run.peak_rss.{stage}"));
+            assert!(g.get() > 0.0, "run.peak_rss.{stage} not recorded");
+        }
+    }
+
     #[test]
     fn every_observatory_sees_something() {
         let run = quick_run();
@@ -729,12 +813,14 @@ mod tests {
     fn telescopes_only_see_spoofed_dp() {
         let run = quick_run();
         use std::collections::HashMap;
-        let by_id: HashMap<u64, &Attack> =
-            run.attacks.iter().map(|a| (a.id.0, a)).collect();
+        let by_id: HashMap<u64, attackgen::AttackClass> =
+            run.attacks.iter().map(|a| (a.id.0, a.class)).collect();
         for id in [ObsId::Ucsd, ObsId::Orion] {
-            for o in run.observations(id) {
-                let a = by_id[&o.attack_id.0];
-                assert_eq!(a.class, attackgen::AttackClass::DirectPathSpoofed);
+            for o in run.observations(id).iter() {
+                assert_eq!(
+                    by_id[&o.attack_id.0],
+                    attackgen::AttackClass::DirectPathSpoofed
+                );
             }
         }
     }
@@ -743,15 +829,18 @@ mod tests {
     fn honeypots_only_see_ra() {
         let run = quick_run();
         use std::collections::HashMap;
-        let by_id: HashMap<u64, &Attack> =
-            run.attacks.iter().map(|a| (a.id.0, a)).collect();
+        let by_id: HashMap<u64, attackgen::AttackClass> =
+            run.attacks.iter().map(|a| (a.id.0, a.class)).collect();
         for id in [ObsId::Hopscotch, ObsId::AmpPot] {
-            for o in run.observations(id) {
+            for o in run.observations(id).iter() {
                 // Reconstructed events keep the id of their first
                 // member; synthetic ids (u64::MAX range) never appear in
                 // the event-level path.
-                let a = by_id[&o.attack_id.0];
-                assert!(a.class.is_reflection(), "{} saw a DP attack", id.name());
+                assert!(
+                    by_id[&o.attack_id.0].is_reflection(),
+                    "{} saw a DP attack",
+                    id.name()
+                );
             }
         }
     }

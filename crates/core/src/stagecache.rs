@@ -29,8 +29,8 @@
 
 use crate::pipeline::ObsId;
 use crate::scenario::StudyConfig;
-use attackgen::{Attack, ObservedAttack};
-use flowmon::NetscoutAlert;
+use attackgen::{AttackColumns, ObservationColumns};
+use flowmon::AlertColumns;
 use netmodel::InternetPlan;
 use obs::manifest::Fnv;
 use obs::metrics::Counter;
@@ -239,9 +239,9 @@ impl Stage {
 #[derive(Clone)]
 enum StageValue {
     Plan(Arc<InternetPlan>),
-    Attacks(Arc<[Attack]>),
-    Observations(Arc<Vec<ObservedAttack>>),
-    Alerts(Arc<Vec<NetscoutAlert>>),
+    Attacks(Arc<AttackColumns>),
+    Observations(Arc<ObservationColumns>),
+    Alerts(Arc<AlertColumns>),
 }
 
 impl StageValue {
@@ -487,8 +487,8 @@ impl StageCache {
         &self,
         bound: usize,
         key: u64,
-        generate: impl FnOnce() -> Arc<[Attack]>,
-    ) -> Arc<[Attack]> {
+        generate: impl FnOnce() -> Arc<AttackColumns>,
+    ) -> Arc<AttackColumns> {
         match self.get_or_compute(Stage::Attacks, bound, key, || StageValue::Attacks(generate()))
         {
             StageValue::Attacks(a) => a,
@@ -497,7 +497,7 @@ impl StageCache {
     }
 
     /// Cached observation stream for `key`, if any.
-    pub fn get_observations(&self, bound: usize, key: u64) -> Option<Arc<Vec<ObservedAttack>>> {
+    pub fn get_observations(&self, bound: usize, key: u64) -> Option<Arc<ObservationColumns>> {
         match self.get(Stage::Observations, bound, key)? {
             StageValue::Observations(v) => Some(v),
             _ => None,
@@ -505,7 +505,7 @@ impl StageCache {
     }
 
     /// Cached Netscout alert stream for `key`, if any.
-    pub fn get_alerts(&self, bound: usize, key: u64) -> Option<Arc<Vec<NetscoutAlert>>> {
+    pub fn get_alerts(&self, bound: usize, key: u64) -> Option<Arc<AlertColumns>> {
         match self.get(Stage::Observations, bound, key)? {
             StageValue::Alerts(v) => Some(v),
             _ => None,
@@ -513,12 +513,12 @@ impl StageCache {
     }
 
     /// Store a freshly observed stream.
-    pub fn insert_observations(&self, bound: usize, key: u64, v: Arc<Vec<ObservedAttack>>) {
+    pub fn insert_observations(&self, bound: usize, key: u64, v: Arc<ObservationColumns>) {
         self.insert(Stage::Observations, bound, key, StageValue::Observations(v));
     }
 
     /// Store a freshly computed Netscout alert stream.
-    pub fn insert_alerts(&self, bound: usize, key: u64, v: Arc<Vec<NetscoutAlert>>) {
+    pub fn insert_alerts(&self, bound: usize, key: u64, v: Arc<AlertColumns>) {
         self.insert(Stage::Observations, bound, key, StageValue::Alerts(v));
     }
 }
@@ -674,7 +674,7 @@ mod tests {
     #[test]
     fn cache_hits_evicts_and_bypasses() {
         let cache = StageCache::isolated();
-        let make = |n: u64| -> Arc<Vec<ObservedAttack>> { Arc::new(Vec::with_capacity(n as usize)) };
+        let make = |n: u64| -> Arc<ObservationColumns> { Arc::new(ObservationColumns::with_capacity(n as usize)) };
 
         // Miss then hit.
         assert!(cache.get_observations(4, 1).is_none());
@@ -704,7 +704,7 @@ mod tests {
         for _ in 0..3 {
             let plan_like = cache.attacks(4, 77, || {
                 runs += 1;
-                Arc::from(Vec::new())
+                Arc::new(AttackColumns::new())
             });
             assert_eq!(plan_like.len(), 0);
         }
@@ -728,7 +728,7 @@ mod tests {
                 scope.spawn(move || {
                     let v = cache.attacks(16, 42, || {
                         runs.fetch_add(1, Ordering::SeqCst);
-                        Arc::from(Vec::new())
+                        Arc::new(AttackColumns::new())
                     });
                     assert_eq!(v.len(), 0);
                 });
@@ -750,7 +750,7 @@ mod tests {
     fn concurrent_eviction_races_coalesced_miss() {
         use std::sync::Barrier;
         let cache = StageCache::isolated();
-        let make = |n: usize| -> Arc<Vec<ObservedAttack>> { Arc::new(Vec::with_capacity(n)) };
+        let make = |n: usize| -> Arc<ObservationColumns> { Arc::new(ObservationColumns::with_capacity(n)) };
         // Rendezvous 1: A's compute has started; B may churn, C may
         // coalesce. Rendezvous 2: B's churn is done; A may finish.
         let in_flight = Barrier::new(3);
@@ -760,7 +760,7 @@ mod tests {
                 cache.attacks(1, 7, || {
                     in_flight.wait();
                     churned.wait();
-                    Arc::from(vec![])
+                    Arc::new(AttackColumns::new())
                 })
             });
             let c = scope.spawn(|| {
@@ -818,7 +818,7 @@ mod tests {
         );
         // The cell recovered: a healthy compute fills it and later
         // lookups hit.
-        let v = cache.attacks(8, 55, || Arc::from(vec![]));
+        let v = cache.attacks(8, 55, || Arc::new(AttackColumns::new()));
         assert_eq!(v.len(), 0);
         let again = cache.attacks(8, 55, || panic!("must be a cache hit now"));
         assert_eq!(again.len(), 0);

@@ -7,7 +7,7 @@
 //! joins with Akamai are ≈ 100× smaller than with Netscout (§7.2), and
 //! why Akamai's trends diverge from every other observatory (§6.3).
 
-use attackgen::{Attack, AttackClass, ObservedAttack};
+use attackgen::{Attack, AttackClass, AttackRef, ObservationColumns, ObservedAttack};
 use netmodel::{InternetPlan, PrefixTable};
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
@@ -58,9 +58,16 @@ impl Akamai {
         self.protected.lookup(ip).is_some()
     }
 
-    /// Event-level observation with the attack's class attached (Akamai
-    /// publishes separate RA and DP series, Fig. 2(d)/3(d)).
-    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(AttackClass, ObservedAttack)> {
+    /// Event-level observation into a columnar sink. On detection the
+    /// observation row (targets clipped to protected space) is appended
+    /// to `out` and the attack's class is returned so the caller can
+    /// route the row into the RA or DP series.
+    pub fn observe_into(
+        &self,
+        attack: AttackRef<'_>,
+        root: &SimRng,
+        out: &mut ObservationColumns,
+    ) -> Option<AttackClass> {
         // Outage check first, before any RNG fork, so unaffected weeks
         // keep their exact detection streams.
         let week = attack.start.week_index();
@@ -68,13 +75,7 @@ impl Akamai {
             return None;
         }
         // At least one target must be in protected space.
-        let protected_targets: Vec<netmodel::Ipv4> = attack
-            .targets
-            .iter()
-            .copied()
-            .filter(|&t| self.protects(t))
-            .collect();
-        if protected_targets.is_empty() {
+        if !attack.targets.iter().any(|&t| self.protects(t)) {
             return None;
         }
         if attack.bps < self.cfg.min_bps {
@@ -89,14 +90,22 @@ impl Akamai {
         if self.faults.drops_sample(root, attack.id.0, week) {
             return None;
         }
-        Some((
-            attack.class,
-            ObservedAttack {
-                attack_id: attack.id,
-                start: attack.start,
-                targets: protected_targets,
-            },
-        ))
+        out.begin_row(attack.id, attack.start);
+        for &t in attack.targets {
+            if self.protects(t) {
+                out.push_target(t);
+            }
+        }
+        out.commit_row();
+        Some(attack.class)
+    }
+
+    /// Event-level observation with the attack's class attached (Akamai
+    /// publishes separate RA and DP series, Fig. 2(d)/3(d)).
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(AttackClass, ObservedAttack)> {
+        let mut out = ObservationColumns::new();
+        let class = self.observe_into(attack.view(), root, &mut out)?;
+        Some((class, out.get(0).to_observed()))
     }
 
     /// Observe a stream, split into (RA, DP) series.

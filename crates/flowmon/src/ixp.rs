@@ -14,7 +14,7 @@
 //! our model keeps both filters: the attack must traverse the IXP *and*
 //! the customer must request blackholing.
 
-use attackgen::{Attack, AttackClass, ObservedAttack, PacketEvent};
+use attackgen::{Attack, AttackClass, AttackRef, ObservedAttack, PacketEvent};
 use netmodel::{AmpVector, Asn, InternetPlan, Transport};
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
@@ -84,10 +84,10 @@ impl IxpBlackholing {
         self.members.len()
     }
 
-    /// Event-level observation. Returns the detection class alongside
-    /// the observation so the core pipeline can maintain the IXP's two
-    /// separate series (Fig. 2(e) and Fig. 3(e)).
-    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(IxpDetection, ObservedAttack)> {
+    /// Event-level detection verdict for one attack row. The IXP's
+    /// observation tuple is just the attack's (id, start, targets), so
+    /// columnar callers append it to their own sink without cloning.
+    pub fn observe_view(&self, attack: AttackRef<'_>, root: &SimRng) -> Option<IxpDetection> {
         // Outage check first, before any RNG fork, so unaffected weeks
         // keep their exact detection streams.
         let week = attack.start.week_index();
@@ -138,6 +138,14 @@ impl IxpBlackholing {
         if !transport_ok || src_ips < self.cfg.min_src_ips || attack.bps <= min_bps {
             return None;
         }
+        Some(detection)
+    }
+
+    /// Event-level observation. Returns the detection class alongside
+    /// the observation so the core pipeline can maintain the IXP's two
+    /// separate series (Fig. 2(e) and Fig. 3(e)).
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<(IxpDetection, ObservedAttack)> {
+        let detection = self.observe_view(attack.view(), root)?;
         Some((
             detection,
             ObservedAttack {

@@ -7,7 +7,7 @@
 //! comparison baseline was ≈ 28 % of all Netscout alerts, and alerts
 //! below the product-defined "medium" severity are excluded.
 
-use attackgen::{Attack, AttackClass, ObservedAttack};
+use attackgen::{Attack, AttackClass, AttackRef, ObservationColumns, ObservedAttack, ObservedRef};
 use netmodel::{Asn, InternetPlan};
 use serde::{Deserialize, Serialize};
 use simcore::SimRng;
@@ -98,9 +98,11 @@ impl Netscout {
         }
     }
 
-    /// Event-level observation: an alert at `Medium`+ severity for an
-    /// attack on a customer network.
-    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<NetscoutAlert> {
+    /// Event-level alert verdict for one attack row. Returns the alert's
+    /// classification when one fires; the observation itself is just the
+    /// attack's (id, start, targets), which columnar callers append to
+    /// their own sink.
+    pub fn observe_view(&self, attack: AttackRef<'_>, root: &SimRng) -> Option<(AttackClass, Severity)> {
         // Outage check first, before any RNG fork, so unaffected weeks
         // keep their exact alert streams.
         let week = attack.start.week_index();
@@ -124,13 +126,20 @@ impl Netscout {
         // is exactly why carpet bombing evades per-IP thresholds
         // (§2.2 / Appendix I).
         let severity = self.severity(attack.pps_per_target())?;
+        Some((attack.class, severity))
+    }
+
+    /// Event-level observation: an alert at `Medium`+ severity for an
+    /// attack on a customer network.
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<NetscoutAlert> {
+        let (class, severity) = self.observe_view(attack.view(), root)?;
         Some(NetscoutAlert {
             observation: ObservedAttack {
                 attack_id: attack.id,
                 start: attack.start,
                 targets: attack.targets.clone(),
             },
-            class: attack.class,
+            class,
             severity,
         })
     }
@@ -155,6 +164,13 @@ impl Netscout {
         pool.par_filter_map(attacks, |a| self.observe(a, root))
     }
 
+    /// Per-alert draw deciding whether an alert lands in the shared
+    /// research baseline. Deterministic in (root, attack id).
+    pub fn baseline_keep(&self, attack_id: u64, root: &SimRng) -> bool {
+        let mut rng = root.fork(attack_id).fork_named("netscout-baseline");
+        rng.chance(self.cfg.baseline_fraction)
+    }
+
     /// Draw the shared research baseline: ≈ `baseline_fraction` of all
     /// alerts, sampled deterministically per alert.
     pub fn baseline_sample<'a>(
@@ -164,13 +180,103 @@ impl Netscout {
     ) -> Vec<&'a NetscoutAlert> {
         alerts
             .iter()
-            .filter(|al| {
-                let mut rng = root
-                    .fork(al.observation.attack_id.0)
-                    .fork_named("netscout-baseline");
-                rng.chance(self.cfg.baseline_fraction)
+            .filter(|al| self.baseline_keep(al.observation.attack_id.0, root))
+            .collect()
+    }
+}
+
+/// Columnar alert stream: the observation columns plus per-alert class
+/// and severity lanes, all indexed by the same row.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlertColumns {
+    pub obs: ObservationColumns,
+    pub class: Vec<AttackClass>,
+    pub severity: Vec<Severity>,
+}
+
+impl AlertColumns {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(rows: usize) -> Self {
+        Self {
+            obs: ObservationColumns::with_capacity(rows),
+            class: Vec::with_capacity(rows),
+            severity: Vec::with_capacity(rows),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.class.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.class.is_empty()
+    }
+
+    /// Append one alert row taking the observation tuple straight from
+    /// the attack (Atlas alerts carry the attack's full target list).
+    pub fn push(&mut self, attack: AttackRef<'_>, class: AttackClass, severity: Severity) {
+        self.obs.begin_row(attack.id, attack.start);
+        for &t in attack.targets {
+            self.obs.push_target(t);
+        }
+        self.obs.commit_row();
+        self.class.push(class);
+        self.severity.push(severity);
+    }
+
+    /// Observation view plus the alert lanes for row `i`.
+    pub fn get(&self, i: usize) -> (ObservedRef<'_>, AttackClass, Severity) {
+        (self.obs.get(i), self.class[i], self.severity[i])
+    }
+
+    /// Consume `shard`, appending its rows after ours.
+    pub fn append(&mut self, shard: AlertColumns) {
+        self.obs.append(shard.obs);
+        self.class.extend_from_slice(&shard.class);
+        self.severity.extend_from_slice(&shard.severity);
+    }
+
+    /// Materialise struct-of-pointers alerts (tests, AoS interop).
+    pub fn to_vec(&self) -> Vec<NetscoutAlert> {
+        (0..self.len())
+            .map(|i| NetscoutAlert {
+                observation: self.obs.get(i).to_observed(),
+                class: self.class[i],
+                severity: self.severity[i],
             })
             .collect()
+    }
+
+    /// Build columns from struct alerts (tests, AoS interop).
+    pub fn from_alerts(alerts: &[NetscoutAlert]) -> Self {
+        let mut out = Self::with_capacity(alerts.len());
+        for al in alerts {
+            out.obs.begin_row(al.observation.attack_id, al.observation.start);
+            for &t in &al.observation.targets {
+                out.obs.push_target(t);
+            }
+            out.obs.commit_row();
+            out.class.push(al.class);
+            out.severity.push(al.severity);
+        }
+        out
+    }
+
+    /// Drop accumulated growth slack in every lane.
+    pub fn shrink_to_fit(&mut self) {
+        self.obs.shrink_to_fit();
+        self.class.shrink_to_fit();
+        self.severity.shrink_to_fit();
+    }
+
+    /// Resident bytes of the column storage (lengths, not capacities).
+    pub fn resident_bytes(&self) -> usize {
+        self.obs.resident_bytes()
+            + self.class.len() * std::mem::size_of::<AttackClass>()
+            + self.severity.len() * std::mem::size_of::<Severity>()
     }
 }
 
@@ -185,6 +291,38 @@ pub fn split_by_class(alerts: &[NetscoutAlert]) -> (Vec<ObservedAttack>, Vec<Obs
         }
     }
     (ra, dp)
+}
+
+/// Columnar [`split_by_class`]: same row order, column storage.
+pub fn split_by_class_columns(alerts: &AlertColumns) -> (ObservationColumns, ObservationColumns) {
+    let mut ra = ObservationColumns::new();
+    let mut dp = ObservationColumns::new();
+    for i in 0..alerts.len() {
+        let row = alerts.obs.get(i);
+        let out = match alerts.class[i] {
+            AttackClass::ReflectionAmplification => &mut ra,
+            _ => &mut dp,
+        };
+        out.push_row(row.attack_id, row.start, row.targets);
+    }
+    (ra, dp)
+}
+
+/// Columnar [`split_dp_spoofing`]: same row order, column storage.
+pub fn split_dp_spoofing_columns(alerts: &AlertColumns) -> (ObservationColumns, ObservationColumns) {
+    let mut spoofed = ObservationColumns::new();
+    let mut nonspoofed = ObservationColumns::new();
+    for i in 0..alerts.len() {
+        let row = alerts.obs.get(i);
+        match alerts.class[i] {
+            AttackClass::DirectPathSpoofed => spoofed.push_row(row.attack_id, row.start, row.targets),
+            AttackClass::DirectPathNonSpoofed => {
+                nonspoofed.push_row(row.attack_id, row.start, row.targets)
+            }
+            AttackClass::ReflectionAmplification => {}
+        }
+    }
+    (spoofed, nonspoofed)
 }
 
 /// Split DP alerts into spoofed / non-spoofed counts (the extra split

@@ -12,7 +12,7 @@
 //!   (deliberately, as in the paper) recorded as many attacks.
 
 use crate::detector::HoneypotFlow;
-use attackgen::{AttackId, ObservedAttack};
+use attackgen::{AttackId, ObservationColumns, ObservedAttack};
 use netmodel::{InternetPlan, Ipv4, Prefix};
 use simcore::SimTime;
 use std::collections::BTreeMap;
@@ -140,6 +140,69 @@ pub fn reconstruct_carpet_attacks(
         i = j;
     }
     out.sort_by_key(|o| (o.start, o.attack_id));
+    out
+}
+
+/// Appendix-I reconstruction over a columnar observation stream — the
+/// same algorithm as [`reconstruct_carpet_attacks`], scanning column
+/// data and writing merged rows straight into a fresh column set.
+///
+/// Equivalence with the struct path is exact: the struct version's
+/// stable `(prefix, start)` sort is reproduced by sorting row indices
+/// by `(prefix, start, index)`, target unions preserve first-seen
+/// order, and the merged event keeps the earliest row's id and start.
+pub fn reconstruct_carpet_columns(
+    plan: &InternetPlan,
+    observed: &ObservationColumns,
+    merge_gap_secs: i64,
+) -> ObservationColumns {
+    let n = observed.len();
+    let mut keyed: Vec<(Option<Prefix>, u32)> = (0..n as u32)
+        .map(|i| {
+            (
+                carpet_prefix(plan, observed.targets(i as usize)[0]),
+                i,
+            )
+        })
+        .collect();
+    keyed.sort_unstable_by_key(|&(p, i)| (p, observed.start[i as usize], i));
+
+    let mut out = ObservationColumns::with_capacity(n);
+    let mut i = 0;
+    while i < keyed.len() {
+        let (prefix, first) = keyed[i];
+        let fi = first as usize;
+        out.begin_row(
+            AttackId(observed.attack_id[fi]),
+            SimTime(observed.start[fi]),
+        );
+        let row_base = out.target_arena.len();
+        for &t in observed.targets(fi) {
+            out.push_target(t);
+        }
+        let mut last_start = observed.start[fi];
+        let mut j = i + 1;
+        while j < keyed.len() {
+            let (p2, next) = keyed[j];
+            let ni = next as usize;
+            let mergeable = prefix.is_some()
+                && p2 == prefix
+                && observed.start[ni] - last_start <= merge_gap_secs;
+            if !mergeable {
+                break;
+            }
+            for &t in observed.targets(ni) {
+                if !out.target_arena[row_base..].contains(&t) {
+                    out.push_target(t);
+                }
+            }
+            last_start = observed.start[ni];
+            j += 1;
+        }
+        out.commit_row();
+        i = j;
+    }
+    out.sort_by_start_id();
     out
 }
 
@@ -303,6 +366,36 @@ mod tests {
         ];
         let merged = reconstruct_carpet_attacks(&plan, &observed, 600);
         assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn columnar_reconstruction_matches_struct_path() {
+        let plan = plan();
+        let base = plan.registry.get(netmodel::Asn(16276)).unwrap().prefixes[0].base();
+        let other = plan.registry.get(netmodel::Asn(24940)).unwrap().prefixes[0].nth(0);
+        let mk = |id: u64, ip: Ipv4, t: i64| ObservedAttack {
+            attack_id: AttackId(id),
+            start: SimTime(t),
+            targets: vec![ip],
+        };
+        // Same-prefix chains, a tie on (prefix, start) to exercise sort
+        // stability, a foreign allocation, a time-gapped straggler, and
+        // a duplicate target to exercise the union.
+        let observed = vec![
+            mk(4, Ipv4(base.0 + 2), 60),
+            mk(1, Ipv4(base.0 + 1), 0),
+            mk(2, Ipv4(base.0 + 2), 60),
+            mk(3, Ipv4(base.0 + 3), 120),
+            mk(5, other, 30),
+            mk(6, Ipv4(base.0 + 9), 50_000),
+        ];
+        let struct_path = reconstruct_carpet_attacks(&plan, &observed, 600);
+        let columnar = reconstruct_carpet_columns(
+            &plan,
+            &ObservationColumns::from_observed(&observed),
+            600,
+        );
+        assert_eq!(columnar.to_vec(), struct_path);
     }
 
     #[test]

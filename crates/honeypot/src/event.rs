@@ -9,8 +9,8 @@
 //! then has to clear the platform's per-flow packet threshold (Table 2).
 
 use crate::platform::HoneypotConfig;
-use attackgen::{Attack, AttackClass, ObservedAttack};
-use netmodel::{AmpVector, InternetPlan, Ipv4};
+use attackgen::{Attack, AttackClass, AttackRef, ObservationColumns, ObservedAttack};
+use netmodel::{AmpVector, InternetPlan};
 use simcore::dist::{binomial, poisson};
 use simcore::faults::ObsFaults;
 use simcore::SimRng;
@@ -49,27 +49,37 @@ impl Honeypot {
         Self::new(HoneypotConfig::newkid(plan), plan)
     }
 
-    /// Event-level observation of one attack.
+    /// Event-level observation of one attack, appended directly to a
+    /// columnar sink; returns whether a row was emitted.
     ///
     /// RNG is forked from (attack id, platform name): deterministic, and
     /// independent across platforms — AmpPot and Hopscotch make separate
     /// reflector-selection draws for the same attack, which is what
     /// produces the partial (≈ 50 %) target overlap of Fig. 7.
-    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+    pub fn observe_into(
+        &self,
+        attack: AttackRef<'_>,
+        root: &SimRng,
+        out: &mut ObservationColumns,
+    ) -> bool {
         // Outage check first, before any RNG fork, so unaffected weeks
         // keep their exact verdict streams.
         let week = attack.start.week_index();
         if self.faults.is_down(week) {
-            return None;
+            return false;
         }
         if attack.class != AttackClass::ReflectionAmplification {
-            return None;
+            return false;
         }
-        let refl = attack.reflectors?;
+        let Some(refl) = attack.reflectors else {
+            return false;
+        };
         if !self.cfg.supports(refl.vector) {
-            return None;
+            return false;
         }
-        let pool = *self.pools.get(&refl.vector)?;
+        let Some(&pool) = self.pools.get(&refl.vector) else {
+            return false;
+        };
         let k = refl.reflector_count as f64;
         let select_p = (self.cfg.selection_boost * k / pool as f64).min(1.0);
         let mut rng = root.fork(attack.id.0).fork_named(&self.cfg.name);
@@ -78,12 +88,12 @@ impl Honeypot {
         // bit-identical on the fault-free path).
         let sensors = self.faults.fleet_at(self.cfg.sensor_count() as u64, week);
         if sensors == 0 {
-            return None;
+            return false;
         }
         // How many of our sensors did the attacker pick?
         let m = binomial(&mut rng, sensors, select_p);
         if m == 0 {
-            return None;
+            return false;
         }
         // Per-sensor, per-victim expected request packets over the whole
         // attack (honeypots cap responses via safeguards, but *requests*
@@ -99,24 +109,30 @@ impl Honeypot {
         // A victim is recorded if its flow at the busiest selected
         // sensor clears the packet threshold.
         let draws = m.min(3);
-        let mut seen: Vec<Ipv4> = Vec::new();
-        for &victim in &attack.targets {
+        out.begin_row(attack.id, attack.start);
+        for &victim in attack.targets {
             let best = (0..draws)
                 .map(|_| poisson(&mut rng, per_sensor_victim))
                 .max()
                 .unwrap_or(0);
             if best >= self.cfg.min_packets {
-                seen.push(victim);
+                out.push_target(victim);
             }
         }
-        if seen.is_empty() {
-            return None;
+        if out.pending_targets() == 0 {
+            out.rollback_row();
+            return false;
         }
-        Some(ObservedAttack {
-            attack_id: attack.id,
-            start: attack.start,
-            targets: seen,
-        })
+        out.commit_row();
+        true
+    }
+
+    /// Event-level observation of one struct attack (the columnar
+    /// [`Honeypot::observe_into`] through a one-row sink).
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+        let mut out = ObservationColumns::new();
+        self.observe_into(attack.view(), root, &mut out)
+            .then(|| out.get(0).to_observed())
     }
 
     /// Observe a whole attack stream.
@@ -144,7 +160,7 @@ impl Honeypot {
 mod tests {
     use super::*;
     use attackgen::attack::{AttackId, AttackVector, ReflectorUse};
-    use netmodel::{Asn, NetScale};
+    use netmodel::{Asn, Ipv4, NetScale};
     use simcore::SimTime;
 
     fn plan() -> InternetPlan {

@@ -71,3 +71,50 @@ impl Stopwatch {
             .unwrap_or(0)
     }
 }
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the procfs field is
+/// unavailable (non-Linux platforms, restricted mounts). Like the rest
+/// of this crate it is a pure side channel: a monotone high-water mark
+/// the pipeline records as the `run.peak_rss` gauge after each stage.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extract `VmHWM` (reported in kB) from a `/proc/self/status` body.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod rss_tests {
+    #[test]
+    fn parses_vm_hwm_lines() {
+        let body = "Name:\tx\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t  88 kB\n";
+        assert_eq!(super::parse_vm_hwm(body), Some(123_456 * 1024));
+        assert_eq!(super::parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(super::parse_vm_hwm("VmHWM:\tjunk kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reads_a_positive_peak_on_linux() {
+        let peak = super::peak_rss_bytes().expect("procfs VmHWM available on Linux");
+        assert!(peak > 0);
+    }
+}

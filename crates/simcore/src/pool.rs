@@ -168,6 +168,114 @@ impl ExecPool {
         tagged.into_iter().map(|(idx, r)| unwrap_shard(idx, r)).collect()
     }
 
+    /// Like [`ExecPool::par_chunks_indexed`], but results are folded
+    /// into an accumulator **in shard order, as they become ready**,
+    /// instead of being collected whole: shard `k` is handed to `fold`
+    /// as soon as shards `0..=k` have all completed, and freed once
+    /// consumed. When shard results are large relative to what the fold
+    /// retains (e.g. columnar population shards merged into one column
+    /// set), this caps the high-water mark at "accumulator + in-flight
+    /// shards" instead of "accumulator + every shard". The fold runs on
+    /// the calling thread concurrently with the workers; the
+    /// accumulator is a pure function of `(items, chunk_size, f, fold)`
+    /// — never of worker count — and a shard whose chaos retries are
+    /// exhausted panics on the lowest failing shard index, exactly like
+    /// the collecting combinator.
+    pub fn par_chunks_fold<T, R, A, F, G>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        f: F,
+        init: A,
+        mut fold: G,
+    ) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        G: FnMut(&mut A, usize, R),
+    {
+        let chunk_size = chunk_size.max(1);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let metrics = PoolMetrics::get();
+        metrics.tasks.add(chunks.len() as u64);
+        let mut acc = init;
+        if self.workers == 1 || chunks.len() <= 1 {
+            for (i, c) in chunks.iter().enumerate() {
+                let r = unwrap_shard(i, self.call_shard(i, c, &f));
+                fold(&mut acc, i, r);
+            }
+            return acc;
+        }
+        metrics.calls.inc();
+
+        let next = AtomicUsize::new(0);
+        let ready: Mutex<std::collections::BTreeMap<usize, Result<R, CaughtPanic>>> =
+            Mutex::new(std::collections::BTreeMap::new());
+        let done = std::sync::Condvar::new();
+        // Set when a worker unwinds with an *organic* panic (chaos
+        // panics are caught by `call_shard`): the drain loop would
+        // otherwise wait forever for a result that never arrives. The
+        // timed wait below rechecks this flag, the drain stops, and the
+        // scope join re-raises the worker's panic.
+        let worker_died = std::sync::atomic::AtomicBool::new(false);
+        let threads = self.workers.min(chunks.len());
+        let busy: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for slot in &busy {
+                let (next, ready, done, chunks, f) = (&next, &ready, &done, &chunks, &f);
+                let worker_died = &worker_died;
+                scope.spawn(move || {
+                    let signal = SignalOnPanic(worker_died);
+                    let watch = obs::Stopwatch::start();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(idx) else { break };
+                        let r = self.call_shard(idx, chunk, f);
+                        ready
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .insert(idx, r);
+                        done.notify_all();
+                    }
+                    slot.store(watch.elapsed_ns() as usize, Ordering::Relaxed);
+                    drop(signal);
+                });
+            }
+            // Drain results in shard order while workers keep producing.
+            'drain: for want in 0..chunks.len() {
+                let r = {
+                    let mut buf = ready.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    loop {
+                        if let Some(r) = buf.remove(&want) {
+                            break r;
+                        }
+                        if worker_died.load(Ordering::Acquire) {
+                            break 'drain;
+                        }
+                        buf = done
+                            .wait_timeout(buf, std::time::Duration::from_millis(20))
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .0;
+                    }
+                };
+                fold(&mut acc, want, unwrap_shard(want, r));
+            }
+        });
+        if obs::enabled() {
+            let busy_ns: Vec<u64> = busy.iter().map(|b| b.load(Ordering::Relaxed) as u64).collect();
+            let max = busy_ns.iter().copied().max().unwrap_or(0);
+            let mean = busy_ns.iter().sum::<u64>() as f64 / busy_ns.len().max(1) as f64;
+            for ns in busy_ns {
+                metrics.busy_ns.record(ns);
+            }
+            if mean > 0.0 {
+                metrics.imbalance.set(max as f64 / mean);
+            }
+        }
+        acc
+    }
+
     /// Run one shard, applying the chaos schedule and bounded retry when
     /// one is attached. Without chaos this is a direct call: organic
     /// panics propagate exactly as before, and no unwind-capture frame
@@ -216,6 +324,19 @@ impl ExecPool {
 impl Default for ExecPool {
     fn default() -> Self {
         ExecPool::global()
+    }
+}
+
+/// Worker-side guard for [`ExecPool::par_chunks_fold`]: raises the
+/// "worker died" flag when dropped during a panic unwind; a normal
+/// drop is a no-op.
+struct SignalOnPanic<'a>(&'a std::sync::atomic::AtomicBool);
+
+impl Drop for SignalOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -326,6 +447,109 @@ mod tests {
             .expect_err("permanent chaos must fail the fan-out");
             assert!(
                 err.message.contains(&format!("pool.shard[{expected}]")),
+                "workers={workers}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn fold_consumes_in_shard_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let run = |workers: usize| {
+            ExecPool::new(workers).par_chunks_fold(
+                &items,
+                7,
+                |i, c| (i, c.iter().sum::<u64>()),
+                Vec::new(),
+                |acc: &mut Vec<(usize, u64)>, idx, r| {
+                    assert_eq!(idx, r.0);
+                    assert_eq!(acc.len(), idx, "fold saw shard {idx} out of order");
+                    acc.push(r);
+                },
+            )
+        };
+        let serial = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(serial, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fold_with_transient_chaos_is_invisible() {
+        let items: Vec<u64> = (0..512).collect();
+        let cs = ChaosSchedule { seed: 5, probability: 0.4, failures_per_site: 2 };
+        let run = |pool: ExecPool| {
+            pool.par_chunks_fold(
+                &items,
+                8,
+                |_, c| c.iter().sum::<u64>(),
+                0u64,
+                |acc, _, r| *acc += r,
+            )
+        };
+        let base = run(ExecPool::new(4));
+        assert_eq!(base, items.iter().sum::<u64>());
+        for workers in [1, 3, 8] {
+            assert_eq!(base, run(ExecPool::new(workers).with_chaos(cs)), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fold_panics_on_lowest_failing_shard() {
+        let items: Vec<u64> = (0..256).collect();
+        let cs = ChaosSchedule {
+            seed: 5,
+            probability: 0.3,
+            failures_per_site: recover::MAX_ATTEMPTS,
+        };
+        let expected = (0..64u64)
+            .find(|&i| cs.failures_at("pool.shard", i) > 0)
+            .expect("p=0.3 over 64 shards must schedule a failure");
+        for workers in [1, 4] {
+            let err = recover::capture("test", || {
+                ExecPool::new(workers).with_chaos(cs).par_chunks_fold(
+                    &items,
+                    4,
+                    |_, c| c.len(),
+                    0usize,
+                    |acc, _, r| *acc += r,
+                )
+            })
+            .expect_err("permanent chaos must fail the fold");
+            assert!(
+                err.message.contains(&format!("pool.shard[{expected}]")),
+                "workers={workers}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn fold_survives_organic_worker_panic() {
+        // An uncaught panic inside the shard closure must not deadlock
+        // the ordered drain; it surfaces as a panic from the fold call.
+        let items: Vec<u64> = (0..64).collect();
+        for workers in [1, 4] {
+            let err = recover::capture("test", || {
+                ExecPool::new(workers).par_chunks_fold(
+                    &items,
+                    4,
+                    |i, c| {
+                        assert!(i != 9, "shard nine always dies");
+                        c.len()
+                    },
+                    0usize,
+                    |acc, _, r| *acc += r,
+                )
+            })
+            .expect_err("the organic panic must propagate");
+            // Serial folds re-raise the original payload; parallel ones
+            // surface it through the scope join. Either way the call
+            // returns (the deadlock this test guards against would hang
+            // here forever).
+            assert!(
+                err.message.contains("shard nine") || err.message.contains("scoped thread"),
                 "workers={workers}: {}",
                 err.message
             );

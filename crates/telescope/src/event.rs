@@ -10,8 +10,8 @@
 
 use crate::corsaro::RsdosConfig;
 use attackgen::packets::BACKSCATTER_RESPONSE_RATE;
-use attackgen::{Attack, AttackClass, ObservedAttack};
-use netmodel::{InternetPlan, Ipv4, TelescopePlan};
+use attackgen::{Attack, AttackClass, AttackRef, ObservationColumns, ObservedAttack};
+use netmodel::{InternetPlan, TelescopePlan};
 use simcore::dist::poisson;
 use simcore::faults::ObsFaults;
 use simcore::SimRng;
@@ -54,38 +54,45 @@ impl Telescope {
         self.spec.coverage()
     }
 
-    /// Event-level observation of one attack. Returns `None` when the
-    /// telescope sees nothing that clears the RSDoS thresholds.
+    /// Event-level observation of one attack, appended directly to a
+    /// columnar sink. Returns whether a row was emitted; when the
+    /// telescope sees nothing that clears the RSDoS thresholds the sink
+    /// is left untouched.
     ///
     /// The verdict RNG is forked from (attack id, telescope name) so
     /// observations are deterministic and independent across
     /// observatories regardless of processing order.
-    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+    pub fn observe_into(
+        &self,
+        attack: AttackRef<'_>,
+        root: &SimRng,
+        out: &mut ObservationColumns,
+    ) -> bool {
         // Outage check first, before any RNG fork: a dark telescope
         // records nothing, and the fault path must not perturb the
         // verdict streams of unaffected weeks.
         if self.faults.is_down(attack.start.week_index()) {
-            return None;
+            return false;
         }
         if attack.class != AttackClass::DirectPathSpoofed {
-            return None;
+            return false;
         }
         let f = attack.spoof_space_fraction;
         if f <= 0.0 {
-            return None;
+            return false;
         }
         let mut rng = root.fork(attack.id.0).fork_named(&self.spec.name);
         // Is the darknet inside the attacker's spoof rotation range?
         if !rng.chance(f) {
-            return None;
+            return false;
         }
         let density = (self.coverage() / f).min(1.0);
         let duration = attack.duration_secs as i64;
         if duration < self.cfg.min_duration_secs {
-            return None;
+            return false;
         }
-        let mut detected: Vec<Ipv4> = Vec::new();
-        for &victim in &attack.targets {
+        out.begin_row(attack.id, attack.start);
+        for &victim in attack.targets {
             // Backscatter rate from this victim into the darknet.
             let lambda = attack.pps_per_target() * self.response_rate * density;
             let total = poisson(&mut rng, lambda * attack.duration_secs as f64);
@@ -103,17 +110,23 @@ impl Telescope {
                 .max()
                 .unwrap_or(0);
             if peak >= self.cfg.rate_threshold {
-                detected.push(victim);
+                out.push_target(victim);
             }
         }
-        if detected.is_empty() {
-            return None;
+        if out.pending_targets() == 0 {
+            out.rollback_row();
+            return false;
         }
-        Some(ObservedAttack {
-            attack_id: attack.id,
-            start: attack.start,
-            targets: detected,
-        })
+        out.commit_row();
+        true
+    }
+
+    /// Event-level observation of one struct attack (the columnar
+    /// [`Telescope::observe_into`] through a one-row sink).
+    pub fn observe(&self, attack: &Attack, root: &SimRng) -> Option<ObservedAttack> {
+        let mut out = ObservationColumns::new();
+        self.observe_into(attack.view(), root, &mut out)
+            .then(|| out.get(0).to_observed())
     }
 
     /// Observe a whole attack stream.
@@ -144,7 +157,7 @@ mod tests {
     use crate::corsaro::RsdosDetector;
     use attackgen::attack::{AttackId, AttackVector};
     use attackgen::packets::backscatter_packets;
-    use netmodel::{Asn, NetScale};
+    use netmodel::{Asn, Ipv4, NetScale};
 
     fn plan() -> InternetPlan {
         let mut rng = SimRng::new(100);

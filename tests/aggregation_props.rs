@@ -1,0 +1,181 @@
+//! Property tests pinning the §5 aggregation seams (ISSUE 6 satellite):
+//! `weekly_counts` and `distinct_target_tuples` behavior is frozen
+//! *before* the columnar refactor, so the SoA equivalents are checked
+//! against these invariants rather than against whatever the new code
+//! happens to do.
+//!
+//! Pinned contracts:
+//!
+//! * `weekly_counts` — always `STUDY_WEEKS` buckets; every in-study
+//!   observation lands in exactly the bucket of its week index;
+//!   out-of-range weeks (negative starts, past study end) are silently
+//!   dropped, never a panic or an out-of-bounds write.
+//! * `distinct_target_tuples` — sorted ascending, strictly deduplicated,
+//!   and exactly the set of `(start day, target ip)` pairs; the borrowed
+//!   `distinct_target_tuples_of` path agrees with the owned path on any
+//!   subset without cloning records.
+
+use attackgen::{
+    distinct_target_tuples, distinct_target_tuples_of, weekly_counts, AttackId,
+    ObservationColumns, ObservedAttack,
+};
+use netmodel::Ipv4;
+use proptest::prelude::*;
+use simcore::{SimTime, STUDY_WEEKS};
+use std::collections::BTreeSet;
+
+/// Seconds spanning well past both study edges (the study is ~234
+/// weeks; this covers ± several years outside it, including the exact
+/// boundary instants the bucketing must get right).
+const WILD_SECS: std::ops::Range<i64> = -200_000_000i64..400_000_000i64;
+
+fn obs(start_secs: i64, ips: &[u32]) -> ObservedAttack {
+    ObservedAttack {
+        attack_id: AttackId(start_secs.unsigned_abs()),
+        start: SimTime(start_secs),
+        targets: ips.iter().map(|&i| Ipv4(i)).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bucketing: every observation is either counted in exactly its
+    /// own week's bucket or dropped because it falls outside the study
+    /// — nothing is double counted, nothing panics.
+    #[test]
+    fn weekly_counts_bucket_or_drop(
+        starts in proptest::collection::vec(WILD_SECS, 0..40),
+    ) {
+        let observations: Vec<ObservedAttack> =
+            starts.iter().map(|&s| obs(s, &[1])).collect();
+        let counts = weekly_counts(&observations);
+        prop_assert_eq!(counts.len(), STUDY_WEEKS);
+
+        let in_range = observations
+            .iter()
+            .filter(|o| (0..STUDY_WEEKS as i64).contains(&o.week()))
+            .count();
+        let total: f64 = counts.iter().sum();
+        prop_assert_eq!(total as usize, in_range, "counts must equal in-study observations");
+
+        // Per-bucket recount from first principles.
+        for (w, &c) in counts.iter().enumerate() {
+            let expect = observations
+                .iter()
+                .filter(|o| o.week() == w as i64)
+                .count();
+            prop_assert_eq!(c as usize, expect, "week {} miscounted", w);
+        }
+    }
+
+    /// The exact boundary weeks: second 0 is week 0, the last second
+    /// before the study end is the last week, one week past is dropped.
+    #[test]
+    fn weekly_counts_boundaries(off in 0i64..604_800) {
+        let last_week_start = (STUDY_WEEKS as i64 - 1) * 604_800;
+        let observations = vec![
+            obs(off, &[1]),                    // inside week 0
+            obs(-1 - off, &[1]),               // just before the study
+            obs(last_week_start + off % 604_800, &[1]), // inside last week
+            obs(STUDY_WEEKS as i64 * 604_800 + off, &[1]), // past the end
+        ];
+        let counts = weekly_counts(&observations);
+        prop_assert_eq!(counts[0], 1.0);
+        prop_assert_eq!(counts[STUDY_WEEKS - 1], 1.0);
+        let total: f64 = counts.iter().sum();
+        prop_assert_eq!(total, 2.0, "out-of-study observations must be dropped");
+    }
+
+    /// Tuples: sorted, strictly deduplicated, and exactly the
+    /// set-theoretic union of every observation's (day, ip) pairs.
+    #[test]
+    fn distinct_tuples_are_the_sorted_set(
+        records in proptest::collection::vec(
+            (WILD_SECS, proptest::collection::vec(0u32..50, 0..5)),
+            0..30,
+        ),
+    ) {
+        let observations: Vec<ObservedAttack> =
+            records.iter().map(|(s, ips)| obs(*s, ips)).collect();
+        let tuples = distinct_target_tuples(&observations);
+
+        // Strictly increasing ⇒ both sorted and deduplicated.
+        for pair in tuples.windows(2) {
+            prop_assert!(pair[0] < pair[1], "tuples not strictly sorted: {:?}", pair);
+        }
+
+        let expect: BTreeSet<(i64, Ipv4)> = observations
+            .iter()
+            .flat_map(|o| o.target_tuples())
+            .collect();
+        prop_assert_eq!(tuples.len(), expect.len());
+        for (got, want) in tuples.iter().zip(expect.iter()) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Columnar equivalence (DESIGN.md §9): the SoA projections over
+    /// an `ObservationColumns` arena agree bit-for-bit with the AoS
+    /// reference paths on the same records — including negative
+    /// starts, out-of-study weeks, and empty target lists — and the
+    /// round trip through the columns loses nothing.
+    #[test]
+    fn columnar_projections_match_aos(
+        records in proptest::collection::vec(
+            (WILD_SECS, proptest::collection::vec(0u32..50, 0..5)),
+            0..30,
+        ),
+    ) {
+        let observations: Vec<ObservedAttack> =
+            records.iter().map(|(s, ips)| obs(*s, ips)).collect();
+        let columns = ObservationColumns::from_observed(&observations);
+        prop_assert_eq!(columns.len(), observations.len());
+
+        prop_assert_eq!(
+            columns.weekly_counts(),
+            weekly_counts(&observations),
+            "columnar weekly_counts diverged from the AoS reference"
+        );
+        prop_assert_eq!(
+            columns.distinct_target_tuples(),
+            distinct_target_tuples(&observations),
+            "columnar distinct_target_tuples diverged from the AoS reference"
+        );
+
+        // Row views and the full round trip preserve every record.
+        for (i, o) in observations.iter().enumerate() {
+            let row = columns.get(i);
+            prop_assert_eq!(row.attack_id, o.attack_id);
+            prop_assert_eq!(row.start, o.start);
+            prop_assert_eq!(row.targets, o.targets.as_slice());
+        }
+        prop_assert_eq!(columns.to_vec(), observations);
+    }
+
+    /// The borrowed-iterator path agrees with the owned path on any
+    /// subset of the records (this is the §7.2 baseline-sample shape:
+    /// a `Vec<&ObservedAttack>` projected without cloning).
+    #[test]
+    fn borrowed_path_matches_owned(
+        records in proptest::collection::vec(
+            (WILD_SECS, proptest::collection::vec(0u32..20, 1..4)),
+            1..20,
+        ),
+        keep_mask in any::<u32>(),
+    ) {
+        let observations: Vec<ObservedAttack> =
+            records.iter().map(|(s, ips)| obs(*s, ips)).collect();
+        let subset: Vec<&ObservedAttack> = observations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask & (1 << (i % 32)) != 0)
+            .map(|(_, o)| o)
+            .collect();
+        let owned: Vec<ObservedAttack> = subset.iter().map(|&o| o.clone()).collect();
+        prop_assert_eq!(
+            distinct_target_tuples_of(subset.into_iter()),
+            distinct_target_tuples(&owned)
+        );
+    }
+}

@@ -127,8 +127,9 @@ fn observation_independent_of_stream_order() {
     let run = StudyRun::execute(&cfg);
     let root = SimRng::new(cfg.seed).fork_named("observatories");
     let tele = Telescope::ucsd(&run.plan);
-    let forward = tele.observe_all(&run.attacks, &root);
-    let mut reversed_attacks = run.attacks.to_vec();
+    let attacks = run.attacks.to_vec();
+    let forward = tele.observe_all(&attacks, &root);
+    let mut reversed_attacks = attacks.clone();
     reversed_attacks.reverse();
     let mut backward = tele.observe_all(&reversed_attacks, &root);
     backward.sort_by_key(|o| o.attack_id);

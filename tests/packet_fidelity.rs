@@ -19,12 +19,12 @@ fn plan_and_attacks() -> (InternetPlan, Vec<attackgen::Attack>) {
     cfg.campaign_rate_scale = 0.0;
     let root = SimRng::new(7);
     let gen = AttackGenerator::new(&plan, cfg, &root);
-    let mut attacks = Vec::new();
+    let mut cols = attackgen::AttackColumns::new();
     // Two months of attacks are plenty for fidelity checks.
     for week in 0..9 {
-        gen.generate_week(week, &mut attacks);
+        gen.generate_week(week, &mut cols);
     }
-    (plan, attacks)
+    (plan, cols.to_vec())
 }
 
 #[test]
