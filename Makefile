@@ -1,4 +1,4 @@
-.PHONY: build test lint bench bench-json check telemetry chaos scale
+.PHONY: build test lint bench bench-json check telemetry chaos scale trace regress
 
 build:
 	cargo build --release
@@ -14,12 +14,30 @@ lint:
 bench:
 	cargo bench --workspace
 
-# Bench trajectory: the end-to-end pipeline Criterion group plus the
-# cached-vs-cold sweep benchmark, which writes BENCH_sweep.json
-# (median ns per grid point and warm stage-cache hit rates).
+# Bench trajectory: the three JSON-emitting benches write
+# BENCH_pipeline.json, BENCH_sweep.json, and BENCH_population.json at
+# the repo root as run manifests (seed, config fingerprint, metrics) so
+# `ddoscovery runs diff` can compare any two of them across commits.
 bench-json:
 	cargo bench -p ddoscovery-bench --bench pipeline
 	cargo bench -p ddoscovery-bench --bench sweep
+	cargo bench -p ddoscovery-bench --bench population
+
+# Perf regression gate: diff each fresh BENCH file against the stored
+# baseline under .ddoscovery/bench/ with a generous wall-clock gate,
+# then refresh the baselines. First run just seeds the baselines.
+regress:
+	@mkdir -p .ddoscovery/bench
+	@for b in pipeline sweep population; do \
+		if [ -f .ddoscovery/bench/BENCH_$$b.json ]; then \
+			cargo run --release -p ddoscovery --bin ddoscovery -- \
+				runs diff .ddoscovery/bench/BENCH_$$b.json BENCH_$$b.json \
+				--gate 50 || exit 1; \
+		else \
+			echo "regress: no baseline for $$b, seeding"; \
+		fi; \
+		cp BENCH_$$b.json .ddoscovery/bench/BENCH_$$b.json; \
+	done
 
 # Everything `test` gates on, plus a compile-only smoke of every bench
 # target so bench drift cannot rot outside the tier-1 path.
@@ -54,3 +72,13 @@ telemetry:
 	cargo run --release -p ddoscovery --bin ddoscovery -- \
 		trends --quick --telemetry telemetry.json
 	@cat telemetry.json
+
+# Flight-recorder smoke: a quick traced run writes trace.json (Chrome
+# trace-event JSON, loadable in Perfetto / chrome://tracing), then
+# trace_check validates it — parses, every span closes, and the pool
+# fan-out produced at least two distinct worker lanes. Workers are
+# pinned so the lane check holds even on single-core machines.
+trace:
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		trends --quick --workers 4 --trace trace.json
+	cargo run --release --example trace_check -- trace.json

@@ -2,8 +2,9 @@
 //! attacks/sec for the three pipeline stages — generate (columnar
 //! population build), observe (the eight observatories over the shared
 //! target arena), and project (weekly series + distinct target tuples)
-//! — at the 1M and 10M attack scales, and writes the results to
-//! `BENCH_population.json`.
+//! — at the 1M and 10M attack scales, and writes the results as a run
+//! manifest to `BENCH_population.json` at the workspace root (diffable
+//! via `ddoscovery runs diff` — see `make regress`).
 //!
 //! Plain `main` (harness = false): a 10M-attack run is a single
 //! long-form measurement, not a Criterion sample loop, and the stages
@@ -17,6 +18,7 @@
 
 use attackgen::AttackGenerator;
 use ddoscovery::{ObsId, StudyConfig, StudyRun};
+use ddoscovery_bench::{bench_manifest, write_bench_manifest};
 use netmodel::InternetPlan;
 use simcore::{ExecPool, SimRng};
 
@@ -116,42 +118,21 @@ fn main() {
         })
         .collect();
 
-    let scales = results
-        .iter()
-        .map(|r| {
-            (
-                r.label.to_string(),
-                serde::Value::Object(vec![
-                    ("attacks".into(), serde::Value::UInt(r.attacks)),
-                    ("observations".into(), serde::Value::UInt(r.observations)),
-                    ("projection_cells".into(), serde::Value::UInt(r.cells)),
-                    (
-                        "generate_attacks_per_sec".into(),
-                        serde::Value::Float(r.generate_aps),
-                    ),
-                    (
-                        "observe_attacks_per_sec".into(),
-                        serde::Value::Float(r.observe_aps),
-                    ),
-                    (
-                        "project_attacks_per_sec".into(),
-                        serde::Value::Float(r.project_aps),
-                    ),
-                ]),
-            )
-        })
-        .collect();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    for r in &results {
+        counters.push((format!("attacks.{}", r.label), r.attacks));
+        counters.push((format!("observations.{}", r.label), r.observations));
+        counters.push((format!("projection_cells.{}", r.label), r.cells));
+        gauges.push((format!("generate_attacks_per_sec.{}", r.label), r.generate_aps));
+        gauges.push((format!("observe_attacks_per_sec.{}", r.label), r.observe_aps));
+        gauges.push((format!("project_attacks_per_sec.{}", r.label), r.project_aps));
+    }
 
-    let json = serde_json::to_string_pretty(&serde::Value::Object(vec![
-        (
-            "benchmark".into(),
-            serde::Value::Str("columnar_population".into()),
-        ),
-        ("scales".into(), serde::Value::Object(scales)),
-    ]))
-    .expect("bench summary serialization is infallible");
-
-    std::fs::write("BENCH_population.json", &json).expect("cannot write BENCH_population.json");
-    println!("{json}");
-    println!("population: wrote BENCH_population.json");
+    // The manifest identity is the largest scale's config: both scales
+    // share the seed, and 10M is the one a regression would hurt most.
+    let (largest, _) = SCALES[SCALES.len() - 1];
+    let manifest = bench_manifest("population", &config(largest as f64), counters, gauges);
+    let path = write_bench_manifest("BENCH_population.json", &manifest);
+    println!("population: wrote {}", path.display());
 }

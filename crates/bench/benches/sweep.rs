@@ -3,7 +3,9 @@
 //! (cold — every grid point rebuilds the plan and regenerates attacks)
 //! against the same sweep served from a primed cache (warm — only the
 //! observation stage runs, and repeat grids are pure hits), and writes
-//! the medians plus stage hit rates to `BENCH_sweep.json`.
+//! the medians plus stage hit rates as a run manifest to
+//! `BENCH_sweep.json` at the workspace root (diffable via
+//! `ddoscovery runs diff` — see `make regress`).
 //!
 //! Plain `main` (harness = false): the cold/warm phases need exclusive
 //! control over the process-global stage cache and counters, which the
@@ -12,6 +14,7 @@
 use ddoscovery::stagecache::{Stage, StageCache, StageStats};
 use ddoscovery::sweep::sweep;
 use ddoscovery::{ObsId, StudyConfig};
+use ddoscovery_bench::{bench_manifest, median, write_bench_manifest};
 
 /// Observation-side grid: `obs.carpet_gap_secs` values. Swept on the
 /// observation stage only, so a warm cache skips plan + generation at
@@ -40,11 +43,6 @@ fn timed_sweep(cfg: &StudyConfig) -> u64 {
     .expect("bench base config is valid");
     assert_eq!(report.outcomes.len(), GRID.len() * 2);
     watch.elapsed_ns()
-}
-
-fn median(mut samples: Vec<u64>) -> u64 {
-    samples.sort_unstable();
-    samples[samples.len() / 2]
 }
 
 fn stats() -> [(Stage, StageStats); 3] {
@@ -85,29 +83,31 @@ fn main() {
         })
         .collect();
 
-    let json = serde_json::to_string_pretty(&serde::Value::Object(vec![
-        ("benchmark".into(), serde::Value::Str("sweep_cached_vs_cold".into())),
-        ("grid_points".into(), serde::Value::UInt(points)),
-        ("reps".into(), serde::Value::UInt(REPS as u64)),
-        ("cold_median_ns_per_point".into(), serde::Value::UInt(cold_ns_per_point)),
-        ("warm_median_ns_per_point".into(), serde::Value::UInt(warm_ns_per_point)),
-        ("speedup".into(), serde::Value::Float(speedup)),
-        (
-            "warm_hit_rates".into(),
-            serde::Value::Object(
-                hit_rates
-                    .into_iter()
-                    .map(|(name, rate)| (name, serde::Value::Float(rate)))
-                    .collect(),
-            ),
-        ),
-    ]))
-    .expect("bench summary serialization is infallible");
-
-    std::fs::write("BENCH_sweep.json", &json).expect("cannot write BENCH_sweep.json");
-    println!("{json}");
+    let mut gauges = vec![
+        ("cold_median_ns_per_point".to_string(), cold_ns_per_point as f64),
+        ("warm_median_ns_per_point".to_string(), warm_ns_per_point as f64),
+        ("cache_speedup".to_string(), speedup),
+    ];
+    gauges.extend(
+        hit_rates
+            .into_iter()
+            .map(|(name, rate)| (format!("warm_hit_rate.{name}"), rate)),
+    );
+    // The manifest identity is the *warm* config — its fingerprint is
+    // what the cache keys on; the cold config differs only in bound.
+    let manifest = bench_manifest(
+        "sweep",
+        &warm_cfg,
+        vec![
+            ("grid_points".into(), points),
+            ("reps".into(), REPS as u64),
+        ],
+        gauges,
+    );
+    let path = write_bench_manifest("BENCH_sweep.json", &manifest);
     println!(
         "sweep: cold {cold_ns_per_point} ns/point, warm {warm_ns_per_point} ns/point \
-         ({speedup:.1}x) -> BENCH_sweep.json"
+         ({speedup:.1}x) -> {}",
+        path.display()
     );
 }

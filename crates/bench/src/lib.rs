@@ -1,12 +1,118 @@
 //! `ddoscovery-bench` — the Criterion benchmark harness.
 //!
-//! Three bench binaries:
+//! Bench binaries:
 //! * `experiments` — one `bench_<id>` per paper table/figure plus the
 //!   end-to-end pipeline;
 //! * `detectors` — hot-path micro-benchmarks (Corsaro ingest, honeypot
 //!   flow detection, LPM, correlation matrices, UpSet);
 //! * `ablations` — design-choice ablations (event vs packet fidelity,
 //!   campaign layering, Appendix-I reconstruction, observatory
-//!   fan-out).
+//!   fan-out);
+//! * `pipeline`, `sweep`, `population` — JSON-emitting perf-trajectory
+//!   benches (`make bench-json`) that write `BENCH_<name>.json` at the
+//!   workspace root.
 //!
 //! Run everything with `cargo bench --workspace`.
+//!
+//! The JSON benches share one output schema: a full
+//! [`obs::manifest::RunManifest`] whose gauges/counters carry the bench
+//! measurements and whose run identity records the seed, worker count,
+//! config fingerprint, and per-stage fingerprints. That makes a bench
+//! file a first-class citizen of the run store — `ddoscovery runs diff
+//! BENCH_sweep.json <older copy> --gate 50` is the whole `make regress`
+//! implementation.
+
+use ddoscovery::{StageFingerprints, StudyConfig};
+use obs::manifest::{fnv1a, RunInfo, RunManifest};
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory —
+/// `cargo bench` runs benches with the *package* directory as cwd, so
+/// relative writes would land in `crates/bench/`.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Package a bench result as a run manifest: `benchmark` becomes the
+/// scenario label, the config contributes seed / workers / fingerprint
+/// / per-stage fingerprints, and the measurements land in the metrics
+/// section (counts as counters, rates and timings as gauges).
+pub fn bench_manifest(
+    benchmark: &str,
+    cfg: &StudyConfig,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+) -> RunManifest {
+    let config_json =
+        serde_json::to_string(cfg).expect("study config serialization is infallible");
+    let mut metrics = obs::metrics::MetricsSnapshot::default();
+    metrics.counters.extend(counters);
+    metrics.gauges.extend(gauges);
+    let run = RunInfo {
+        scenario: format!("bench-{benchmark}"),
+        seed: cfg.seed,
+        workers: cfg.workers,
+        config_hash: fnv1a(config_json.as_bytes()),
+        stages: StageFingerprints::of(cfg).manifest_entries(),
+        degraded_weeks: Vec::new(),
+    };
+    let version = env!("CARGO_PKG_VERSION").to_string();
+    let describe = format!("v{}-bench-{:08x}", version, run.config_hash as u32);
+    RunManifest {
+        schema: obs::manifest::SCHEMA,
+        version,
+        describe,
+        run,
+        metrics,
+    }
+}
+
+/// Median of a sample set (upper median for even counts). Panics on an
+/// empty set — a bench with zero reps is a bug, not a data point.
+pub fn median(mut samples: Vec<u64>) -> u64 {
+    assert!(!samples.is_empty(), "median of zero samples");
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Write `manifest` as `<file_name>` at the workspace root, returning
+/// the absolute path.
+pub fn write_bench_manifest(file_name: &str, manifest: &RunManifest) -> PathBuf {
+    let path = workspace_root().join(file_name);
+    std::fs::write(&path, manifest.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_manifests_round_trip_through_the_store_parser() {
+        let cfg = StudyConfig::quick();
+        let m = bench_manifest(
+            "unit",
+            &cfg,
+            vec![("attacks".into(), 42)],
+            vec![("generate_median_ns".into(), 1.5e6)],
+        );
+        assert_eq!(m.run.scenario, "bench-unit");
+        assert_eq!(m.run.seed, cfg.seed);
+        assert!(!m.run.stages.is_empty(), "stage fingerprints recorded");
+        let back = RunManifest::from_json(&m.to_json()).expect("store parser accepts bench JSON");
+        assert_eq!(back.metrics.counters["attacks"], 42);
+        assert_eq!(back.run.config_hash, m.run.config_hash);
+    }
+
+    #[test]
+    fn workspace_root_is_the_repo_checkout() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -5,13 +5,18 @@
 //! ddoscovery run [--quick] [--seed N] [--out DIR] [IDS...]
 //! ddoscovery config                       # dump the study config JSON
 //! ddoscovery trends [--quick] [--seed N]  # one-screen Table-1 summary
+//! ddoscovery runs list|show R|diff A B    # persistent run history
 //! ```
 //!
 //! Stream discipline: stdout carries machine-readable experiment
 //! output only; every status line goes to stderr through the `obs`
 //! logger (`DDOSCOVERY_LOG=error|warn|info|debug`). `--telemetry PATH`
 //! (or `DDOSCOVERY_TELEMETRY=PATH`) additionally writes a JSON run
-//! manifest and prints its summary table on stderr.
+//! manifest, prints its summary table on stderr, and appends the
+//! manifest to the persistent run store (`.ddoscovery/runs/`, override
+//! with `--runs-dir`/`DDOSCOVERY_RUNS_DIR`) for later `runs diff`.
+//! `--trace PATH` (or `DDOSCOVERY_TRACE=PATH`) arms the flight
+//! recorder and writes a Chrome trace-event timeline of the run.
 //!
 //! Exit codes: 0 on success, 1 for runtime failures (I/O, analytics),
 //! 2 for usage and config errors — mirroring
@@ -29,7 +34,14 @@ fn usage() -> ExitCode {
          \u{20}  list                         list experiment ids\n\
          \u{20}  run [opts] [IDS...]          run experiments (default: all)\n\
          \u{20}  trends [opts]                print the Table-1 trend summary\n\
-         \u{20}  config                       print the default study config as JSON\n\n\
+         \u{20}  config                       print the default study config as JSON\n\
+         \u{20}  runs list                    list stored run manifests\n\
+         \u{20}  runs show RUN                print one stored manifest (stem,\n\
+         \u{20}                               unambiguous prefix, or path)\n\
+         \u{20}  runs diff A B [--gate PCT]   compare two stored runs; with\n\
+         \u{20}                               --gate, exit 1 when any\n\
+         \u{20}                               deterministic metric moves more\n\
+         \u{20}                               than PCT percent\n\n\
          options:\n\
          \u{20}  --quick            scaled-down study (~1/8 volume)\n\
          \u{20}  --seed N           master seed: decimal, or hex with an\n\
@@ -52,7 +64,16 @@ fn usage() -> ExitCode {
          \u{20}                     telemetry manifest)\n\
          \u{20}  --chaos P          inject recoverable control-plane faults\n\
          \u{20}                     with probability P per site; output is\n\
-         \u{20}                     identical with or without the flag\n\n\
+         \u{20}                     identical with or without the flag\n\
+         \u{20}  --trace PATH       arm the flight recorder and write a\n\
+         \u{20}                     Chrome trace-event timeline (Perfetto-\n\
+         \u{20}                     loadable) to PATH (env: DDOSCOVERY_TRACE;\n\
+         \u{20}                     output is identical with or without it)\n\
+         \u{20}  --runs-dir DIR     run-history store for --telemetry and\n\
+         \u{20}                     the runs subcommands (default\n\
+         \u{20}                     .ddoscovery/runs; env: DDOSCOVERY_RUNS_DIR)\n\
+         \u{20}  --gate PCT         with runs diff: fail (exit 1) when a\n\
+         \u{20}                     counter or gauge moves more than PCT%\n\n\
          exit codes:\n\
          \u{20}  0  success\n\
          \u{20}  1  runtime failure (I/O, analytics)\n\
@@ -84,6 +105,9 @@ struct Options {
     stage_cache: Option<usize>,
     faults: Option<String>,
     chaos: Option<f64>,
+    trace: Option<String>,
+    runs_dir: Option<String>,
+    gate: Option<f64>,
     ids: Vec<String>,
 }
 
@@ -107,6 +131,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stage_cache: None,
         faults: None,
         chaos: None,
+        trace: None,
+        runs_dir: None,
+        gate: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -143,6 +170,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("bad chaos probability {v:?}"))?;
                 opts.chaos = Some(p);
             }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            "--runs-dir" => {
+                opts.runs_dir = Some(it.next().ok_or("--runs-dir needs a value")?.clone());
+            }
+            "--gate" => {
+                let v = it.next().ok_or("--gate needs a value")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad gate percentage {v:?}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("--gate must be a non-negative percentage, got {v}"));
+                }
+                opts.gate = Some(pct);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -158,7 +201,44 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
         }
     }
+    if opts.trace.is_none() {
+        if let Ok(path) = std::env::var(obs::trace::TRACE_ENV) {
+            if !path.trim().is_empty() {
+                opts.trace = Some(path);
+            }
+        }
+    }
     Ok(opts)
+}
+
+/// The run-history store: `--runs-dir` wins over `DDOSCOVERY_RUNS_DIR`,
+/// which wins over `.ddoscovery/runs`.
+fn runs_store(opts: &Options) -> obs::store::RunStore {
+    match &opts.runs_dir {
+        Some(dir) => obs::store::RunStore::new(dir),
+        None => obs::store::RunStore::open_default(),
+    }
+}
+
+/// Arm the flight recorder when a trace path was requested.
+fn arm_trace(opts: &Options) {
+    if opts.trace.is_some() {
+        obs::trace::enable(obs::trace::DEFAULT_LANE_CAPACITY);
+    }
+}
+
+/// Export the armed flight recorder to the requested path.
+fn export_trace(opts: &Options) -> Result<(), Error> {
+    let Some(path) = &opts.trace else {
+        return Ok(());
+    };
+    obs::trace::disable();
+    obs::trace::export_to_file(path).map_err(|e| Error::io(path.clone(), &e))?;
+    obs::info!(
+        "trace timeline written to {path} ({} events dropped)",
+        obs::trace::dropped()
+    );
+    Ok(())
 }
 
 fn build_config(opts: &Options) -> Result<StudyConfig, Error> {
@@ -213,7 +293,10 @@ fn scenario_label(opts: &Options) -> &'static str {
     }
 }
 
-/// Write the run manifest (if requested) and print its summary table.
+/// Write the run manifest (if requested), print its summary table, and
+/// append the manifest to the persistent run store for `runs diff`. A
+/// store failure only warns: history is a convenience, the run's own
+/// output must not fail because `.ddoscovery/` is unwritable.
 fn emit_telemetry(opts: &Options, cfg: &StudyConfig) -> Result<(), String> {
     let Some(path) = &opts.telemetry else {
         return Ok(());
@@ -230,6 +313,10 @@ fn emit_telemetry(opts: &Options, cfg: &StudyConfig) -> Result<(), String> {
     fs::write(path, manifest.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     obs::log::raw_stderr(manifest.summary_table().trim_end());
     obs::info!("telemetry manifest written to {path}");
+    match runs_store(opts).append(&manifest) {
+        Ok(stored) => obs::info!("run recorded in store: {}", stored.display()),
+        Err(e) => obs::warn!("{e}"),
+    }
     Ok(())
 }
 
@@ -271,6 +358,7 @@ fn cmd_run(opts: &Options) -> ExitCode {
         Ok(cfg) => cfg,
         Err(e) => return fail(&e),
     };
+    arm_trace(opts);
     obs::info!(
         "running {} study (seed {:#x}, workers {}) ...",
         scenario_label(opts),
@@ -310,9 +398,14 @@ fn cmd_run(opts: &Options) -> ExitCode {
     }
     drop(analyze_span);
     drop(run_span);
+    // Projections all ran inside the analyze stage above.
+    ddoscovery::pipeline::record_peak_rss("project");
     if let Err(e) = emit_telemetry(opts, &cfg) {
         obs::error!("{e}");
         return ExitCode::FAILURE;
+    }
+    if let Err(e) = export_trace(opts) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }
@@ -328,6 +421,7 @@ fn cmd_trends(opts: &Options) -> ExitCode {
         Ok(cfg) => cfg,
         Err(e) => return fail(&e),
     };
+    arm_trace(opts);
     let run_span = obs::span!("run");
     let run = match StudyRun::try_execute(&cfg) {
         Ok(run) => run,
@@ -347,11 +441,115 @@ fn cmd_trends(opts: &Options) -> ExitCode {
     }
     drop(project_span);
     drop(run_span);
+    ddoscovery::pipeline::record_peak_rss("project");
     if let Err(e) = emit_telemetry(opts, &cfg) {
         obs::error!("{e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = export_trace(opts) {
+        return fail(&e);
+    }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// Run history: `ddoscovery runs list|show|diff`
+// ---------------------------------------------------------------------
+
+/// List the store: one line per run on stdout, corrupt entries skipped
+/// with a warning on stderr (never a panic, never a failure).
+fn cmd_runs_list(store: &obs::store::RunStore) -> ExitCode {
+    let entries = store.entries();
+    if entries.is_empty() {
+        obs::info!("run store {} is empty", store.dir().display());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<24} {:<16} {:>12} {:>8} {:>8}",
+        "run", "scenario", "seed", "workers", "metrics"
+    );
+    for entry in entries {
+        match &entry.manifest {
+            Ok(m) => println!(
+                "{:<24} {:<16} {:>#12x} {:>8} {:>8}",
+                entry.stem,
+                m.run.scenario,
+                m.run.seed,
+                m.run
+                    .workers
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                m.metrics.counters.len() + m.metrics.gauges.len() + m.metrics.histograms.len(),
+            ),
+            Err(e) => obs::warn!("skipping corrupt run {}: {e}", entry.stem),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Print one stored manifest: JSON on stdout, summary table on stderr.
+fn cmd_runs_show(store: &obs::store::RunStore, name: &str) -> ExitCode {
+    match store.load(name) {
+        Ok((stem, manifest)) => {
+            obs::info!("run {stem} from {}", store.dir().display());
+            obs::log::raw_stderr(manifest.summary_table().trim_end());
+            println!("{}", manifest.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&Error::io(name.to_string(), &std::io::Error::other(e))),
+    }
+}
+
+/// Diff two stored runs; with `--gate PCT`, exit 1 when any counter or
+/// gauge moved more than PCT percent.
+fn cmd_runs_diff(store: &obs::store::RunStore, a: &str, b: &str, gate: Option<f64>) -> ExitCode {
+    let load = |name: &str| match store.load(name) {
+        Ok(loaded) => Ok(loaded),
+        Err(e) => {
+            obs::error!("{e}");
+            Err(())
+        }
+    };
+    let (Ok((a_stem, a_run)), Ok((b_stem, b_run))) = (load(a), load(b)) else {
+        return ExitCode::FAILURE;
+    };
+    let d = obs::store::diff(&a_stem, &a_run, &b_stem, &b_run);
+    println!("{}", d.render().trim_end());
+    if let Some(pct) = gate {
+        let breaches = d.breaches(pct);
+        if !breaches.is_empty() {
+            for breach in &breaches {
+                obs::error!(
+                    "gate breach: {} moved {} (> {pct}%)",
+                    breach.name,
+                    breach
+                        .rel_change()
+                        .map(|rel| format!("{:+.2}%", rel * 100.0))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            obs::error!("{} metric(s) beyond the {pct}% gate", breaches.len());
+            return ExitCode::FAILURE;
+        }
+        obs::info!("gate ok: no counter or gauge moved more than {pct}%");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_runs(opts: &Options) -> ExitCode {
+    let store = runs_store(opts);
+    let ids: Vec<&str> = opts.ids.iter().map(String::as_str).collect();
+    match ids.as_slice() {
+        [] | ["list"] => cmd_runs_list(&store),
+        ["show", name] => cmd_runs_show(&store, name),
+        ["diff", a, b] => cmd_runs_diff(&store, a, b, opts.gate),
+        other => {
+            obs::error!(
+                "usage: ddoscovery runs list | show RUN | diff A B [--gate PCT] (got {other:?})"
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -372,6 +570,7 @@ fn main() -> ExitCode {
         "config" => cmd_config(),
         "run" => cmd_run(&opts),
         "trends" => cmd_trends(&opts),
+        "runs" => cmd_runs(&opts),
         _ => usage(),
     }
 }

@@ -255,8 +255,9 @@ enum ShardOut {
 /// under `run.peak_rss.<stage>` for per-stage attribution and once
 /// under the overall `run.peak_rss` gauge, both of which land in the
 /// JSON manifest and the stderr summary table. A pure side channel —
-/// no-op where procfs is unavailable.
-fn record_peak_rss(stage: &str) {
+/// no-op where procfs is unavailable. Public so the CLI can stamp the
+/// projection stage (`"project"`), which runs outside `execute_on`.
+pub fn record_peak_rss(stage: &str) {
     if let Some(bytes) = obs::peak_rss_bytes() {
         obs::metrics::gauge(&format!("run.peak_rss.{stage}")).set(bytes as f64);
         obs::metrics::gauge("run.peak_rss").set(bytes as f64);

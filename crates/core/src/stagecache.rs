@@ -234,6 +234,41 @@ impl Stage {
     }
 }
 
+/// Cache actions the flight recorder distinguishes.
+#[derive(Debug, Clone, Copy)]
+enum CacheEvent {
+    Hit,
+    Miss,
+    Compute,
+    Evict,
+}
+
+/// Static trace-event name for a cache action — the lookup hot path
+/// must not allocate just because tracing is armed.
+const fn cache_trace_name(stage: Stage, event: CacheEvent) -> &'static str {
+    match (stage, event) {
+        (Stage::Plan, CacheEvent::Hit) => "cache.plan.hit",
+        (Stage::Plan, CacheEvent::Miss) => "cache.plan.miss",
+        (Stage::Plan, CacheEvent::Compute) => "cache.plan.compute",
+        (Stage::Plan, CacheEvent::Evict) => "cache.plan.evict",
+        (Stage::Attacks, CacheEvent::Hit) => "cache.attacks.hit",
+        (Stage::Attacks, CacheEvent::Miss) => "cache.attacks.miss",
+        (Stage::Attacks, CacheEvent::Compute) => "cache.attacks.compute",
+        (Stage::Attacks, CacheEvent::Evict) => "cache.attacks.evict",
+        (Stage::Observations, CacheEvent::Hit) => "cache.observations.hit",
+        (Stage::Observations, CacheEvent::Miss) => "cache.observations.miss",
+        (Stage::Observations, CacheEvent::Compute) => "cache.observations.compute",
+        (Stage::Observations, CacheEvent::Evict) => "cache.observations.evict",
+    }
+}
+
+/// Mark a cache action on the flight recorder (no-op unless armed).
+fn cache_trace(stage: Stage, event: CacheEvent, key: u64) {
+    if obs::trace::enabled() {
+        obs::trace::instant(cache_trace_name(stage, event), &[("key", key)]);
+    }
+}
+
 /// A cached stage output. Observation streams and the Netscout alert
 /// stream are separate variants of the same stage class.
 #[derive(Clone)]
@@ -394,6 +429,7 @@ impl StageCache {
             if let Some(slot) = inner.map.remove(&victim) {
                 if let Some(v) = slot.cell.get() {
                     self.evicted[v.stage().index()].inc();
+                    cache_trace(v.stage(), CacheEvent::Evict, victim);
                 }
             }
         }
@@ -412,11 +448,16 @@ impl StageCache {
     ) -> StageValue {
         if bound == 0 {
             self.computed[stage.index()].inc();
+            let _t = obs::trace::Guard::new(
+                cache_trace_name(stage, CacheEvent::Compute),
+                Some(("key", key)),
+            );
             return compute();
         }
         let (cell, filled) = self.slot(key);
         if filled {
             self.hit[stage.index()].inc();
+            cache_trace(stage, CacheEvent::Hit, key);
             return cell.get().expect("filled slot has a value").clone();
         }
         let mut ran = false;
@@ -424,15 +465,21 @@ impl StageCache {
             .get_or_init(|| {
                 ran = true;
                 self.computed[stage.index()].inc();
+                let _t = obs::trace::Guard::new(
+                    cache_trace_name(stage, CacheEvent::Compute),
+                    Some(("key", key)),
+                );
                 compute()
             })
             .clone();
         if ran {
+            cache_trace(stage, CacheEvent::Miss, key);
             self.enforce_bound(bound, key);
         } else {
             // A concurrent computer filled the cell while we waited:
             // served from cache as far as this caller is concerned.
             self.hit[stage.index()].inc();
+            cache_trace(stage, CacheEvent::Hit, key);
         }
         value
     }
@@ -444,21 +491,35 @@ impl StageCache {
         if bound == 0 {
             return None;
         }
-        let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let slot = inner.map.get_mut(&key)?;
-        slot.last_used = tick;
-        let value = slot.cell.get()?.clone();
-        drop(inner);
-        self.hit[stage.index()].inc();
-        Some(value)
+        let value = {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.get_mut(&key).and_then(|slot| {
+                slot.last_used = tick;
+                slot.cell.get().cloned()
+            })
+        };
+        match value {
+            Some(v) => {
+                self.hit[stage.index()].inc();
+                cache_trace(stage, CacheEvent::Hit, key);
+                Some(v)
+            }
+            None => {
+                cache_trace(stage, CacheEvent::Miss, key);
+                None
+            }
+        }
     }
 
     /// Insert a freshly computed value under `key` and enforce the
     /// bound. Counts one stage execution.
     fn insert(&self, stage: Stage, bound: usize, key: u64, value: StageValue) {
         self.computed[stage.index()].inc();
+        // The execution itself ran (and was traced) in the caller's
+        // fan-out; mark the result entering the cache.
+        cache_trace(stage, CacheEvent::Compute, key);
         if bound == 0 {
             return;
         }

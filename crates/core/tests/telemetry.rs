@@ -68,6 +68,40 @@ fn output_is_byte_identical_across_telemetry_state_and_worker_counts() {
 }
 
 #[test]
+fn output_is_byte_identical_with_tracing_armed() {
+    // The flight recorder (obs::trace) extends the side-channel
+    // contract: arming it must not perturb a single output byte, at
+    // any worker count, and disarming must return to the same bytes.
+    let mut cfg = StudyConfig::quick();
+    cfg.workers = Some(1);
+    cfg.stage_cache = Some(0);
+    obs::set_enabled(true);
+    let baseline = output_fingerprint(&StudyRun::execute(&cfg));
+
+    for workers in [1usize, 4, 8] {
+        cfg.workers = Some(workers);
+        obs::trace::enable(obs::trace::DEFAULT_LANE_CAPACITY);
+        let traced = output_fingerprint(&StudyRun::execute(&cfg));
+        let recorded: usize = obs::trace::snapshot().iter().map(|(_, evs)| evs.len()).sum();
+        obs::trace::disable();
+        obs::trace::clear();
+        assert!(
+            traced == baseline,
+            "tracing changed study output at {workers} workers"
+        );
+        assert!(
+            recorded > 0,
+            "armed recorder captured nothing at {workers} workers"
+        );
+        let untraced = output_fingerprint(&StudyRun::execute(&cfg));
+        assert!(
+            untraced == baseline,
+            "output diverged after disarming tracing at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn run_populates_registry_counters() {
     // Executing a study must leave per-observatory counts and
     // generation tallies in the global registry (cumulative across the

@@ -25,12 +25,17 @@
 //!
 //! Plus [`log`], a tiny leveled stderr logger (`DDOSCOVERY_LOG`), so
 //! library crates never print directly and stdout stays reserved for
-//! machine-readable experiment output.
+//! machine-readable experiment output; [`trace`], the flight recorder
+//! (per-thread bounded event rings exported as Chrome trace-event
+//! JSON); and [`store`], the persistent run-history store backing
+//! `ddoscovery runs list|show|diff`.
 
 pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod store;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

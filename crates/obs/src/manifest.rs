@@ -173,7 +173,8 @@ impl RunManifest {
 }
 
 /// Coarse quantile over a snapshot (mirrors `Histogram::approx_quantile`).
-fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
+/// Public because the run store diffs stored histograms at p50/p99.
+pub fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
     if h.count == 0 {
         return None;
     }
@@ -186,6 +187,145 @@ fn quantile(h: &HistogramSnapshot, q: f64) -> Option<u64> {
         }
     }
     Some(u64::MAX)
+}
+
+// ---------------------------------------------------------------------
+// Deserialization (run store)
+// ---------------------------------------------------------------------
+//
+// The persistent run store reads manifests back from disk; the vendored
+// serde has no derive, so the reader is hand-rolled over `Value` and
+// returns `Err` (never panics) on any structural mismatch — a corrupt
+// or truncated stored manifest must degrade to a skipped entry.
+
+fn field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing field `{key}`"))
+}
+
+fn as_u64(v: &Value, ctx: &str) -> Result<u64, String> {
+    match v {
+        Value::UInt(u) => Ok(*u),
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!("{ctx}: expected unsigned integer, got {other:?}")),
+    }
+}
+
+fn as_f64(v: &Value, ctx: &str) -> Result<f64, String> {
+    match v {
+        Value::Float(f) => Ok(*f),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Int(i) => Ok(*i as f64),
+        // The writer maps non-finite gauges to null.
+        Value::Null => Ok(f64::NAN),
+        other => Err(format!("{ctx}: expected number, got {other:?}")),
+    }
+}
+
+fn as_str(v: &Value, ctx: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("{ctx}: expected string, got {other:?}")),
+    }
+}
+
+fn as_entries<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], String> {
+    match v {
+        Value::Object(entries) => Ok(entries),
+        other => Err(format!("{ctx}: expected object, got {other:?}")),
+    }
+}
+
+fn as_u64_array(v: &Value, ctx: &str) -> Result<Vec<u64>, String> {
+    match v {
+        Value::Array(items) => items.iter().map(|item| as_u64(item, ctx)).collect(),
+        other => Err(format!("{ctx}: expected array, got {other:?}")),
+    }
+}
+
+fn histogram_from_value(v: &Value, ctx: &str) -> Result<HistogramSnapshot, String> {
+    Ok(HistogramSnapshot {
+        bounds: as_u64_array(field(v, "bounds", ctx)?, ctx)?,
+        buckets: as_u64_array(field(v, "buckets", ctx)?, ctx)?,
+        count: as_u64(field(v, "count", ctx)?, ctx)?,
+        sum: as_u64(field(v, "sum", ctx)?, ctx)?,
+    })
+}
+
+impl RunManifest {
+    /// Parse a manifest previously written by [`RunManifest::to_json`].
+    /// Structural errors come back as `Err` with a field path — never a
+    /// panic — so the run store can skip corrupt entries with a warning.
+    pub fn from_json(text: &str) -> Result<RunManifest, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("manifest: invalid JSON: {e}"))?;
+        let schema = as_u64(field(&v, "schema", "manifest")?, "manifest.schema")?;
+        if schema > SCHEMA {
+            return Err(format!(
+                "manifest: schema {schema} is newer than supported {SCHEMA}"
+            ));
+        }
+        let run_v = field(&v, "run", "manifest")?;
+        let workers = match field(run_v, "workers", "manifest.run")? {
+            Value::Null => None,
+            other => Some(as_u64(other, "manifest.run.workers")? as usize),
+        };
+        let stages = as_entries(field(run_v, "stages", "manifest.run")?, "manifest.run.stages")?
+            .iter()
+            .map(|(name, fp)| Ok((name.clone(), as_u64(fp, "manifest.run.stages")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        let degraded_weeks = as_entries(
+            field(run_v, "degraded_weeks", "manifest.run")?,
+            "manifest.run.degraded_weeks",
+        )?
+        .iter()
+        .map(|(source, weeks)| {
+            Ok((
+                source.clone(),
+                as_u64_array(weeks, "manifest.run.degraded_weeks")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+        let metrics_v = field(&v, "metrics", "manifest")?;
+        let mut metrics = MetricsSnapshot::default();
+        for (name, val) in as_entries(field(metrics_v, "counters", "manifest.metrics")?, "counters")?
+        {
+            metrics
+                .counters
+                .insert(name.clone(), as_u64(val, "manifest.metrics.counters")?);
+        }
+        for (name, val) in as_entries(field(metrics_v, "gauges", "manifest.metrics")?, "gauges")? {
+            metrics
+                .gauges
+                .insert(name.clone(), as_f64(val, "manifest.metrics.gauges")?);
+        }
+        for (name, val) in as_entries(
+            field(metrics_v, "histograms", "manifest.metrics")?,
+            "histograms",
+        )? {
+            metrics.histograms.insert(
+                name.clone(),
+                histogram_from_value(val, "manifest.metrics.histograms")?,
+            );
+        }
+        Ok(RunManifest {
+            schema,
+            version: as_str(field(&v, "version", "manifest")?, "manifest.version")?,
+            describe: as_str(field(&v, "describe", "manifest")?, "manifest.describe")?,
+            run: RunInfo {
+                scenario: as_str(field(run_v, "scenario", "manifest.run")?, "scenario")?,
+                seed: as_u64(field(run_v, "seed", "manifest.run")?, "manifest.run.seed")?,
+                workers,
+                config_hash: as_u64(
+                    field(run_v, "config_hash", "manifest.run")?,
+                    "manifest.run.config_hash",
+                )?,
+                stages,
+                degraded_weeks,
+            },
+            metrics,
+        })
+    }
 }
 
 /// Render a magnitude: nanosecond histograms get time units, count
@@ -372,5 +512,34 @@ mod tests {
         assert!(table.contains("span.run"));
         assert!(table.contains("gen.attacks"));
         assert!(table.contains("degraded source"));
+
+        // Round trip: from_json reconstructs every field exactly.
+        let back = RunManifest::from_json(&json).expect("round trip parses");
+        assert_eq!(back.schema, m.schema);
+        assert_eq!(back.version, m.version);
+        assert_eq!(back.run.scenario, m.run.scenario);
+        assert_eq!(back.run.seed, m.run.seed);
+        assert_eq!(back.run.workers, m.run.workers);
+        assert_eq!(back.run.config_hash, m.run.config_hash);
+        assert_eq!(back.run.stages, m.run.stages);
+        assert_eq!(back.run.degraded_weeks, m.run.degraded_weeks);
+        assert_eq!(back.metrics, m.metrics);
+    }
+
+    #[test]
+    fn corrupt_manifests_error_instead_of_panicking() {
+        for text in [
+            "",
+            "{",
+            "not json at all",
+            "{\"schema\": 1}",
+            "{\"schema\": 999, \"version\": \"x\"}",
+            "{\"schema\": 1, \"version\": 7, \"describe\": \"x\", \"run\": {}, \"metrics\": {}}",
+        ] {
+            assert!(
+                RunManifest::from_json(text).is_err(),
+                "must reject {text:?}"
+            );
+        }
     }
 }

@@ -288,6 +288,19 @@ impl Registry {
         }
     }
 
+    /// Current counter values only, deterministically ordered — a
+    /// lighter read than [`Registry::snapshot`] for callers that don't
+    /// need gauges or histogram buckets (the flight recorder attaches
+    /// this to span-end trace events).
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.lock();
+        inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
     /// Zero every instrument (names and bounds survive). Used by the
     /// CLI between runs so one manifest describes one run.
     pub fn reset(&self) {

@@ -8,23 +8,46 @@
 //! one run. Pool worker threads start fresh stacks; their per-shard
 //! timings are recorded by the pool itself, not by spans.
 //!
+//! The hot path is allocation-free after first use: each thread keeps
+//! one growable dotted-path buffer (extended/truncated in place as
+//! spans open and close, never re-joined) and a map from dotted path to
+//! its resolved histogram handle, so re-entering a known span touches
+//! no allocator and takes no registry lock. When the flight recorder is
+//! armed ([`crate::trace`]), every span additionally emits a
+//! begin/end interval on the thread's trace lane, with a snapshot of
+//! all registry counters attached to the end event.
+//!
 //! Spans are wall-clock (`Instant`) by design and therefore *never*
 //! influence simulation state; `crates/obs` is the repo lint's sole
 //! allowlisted home for wall-clock primitives in library code.
 
 use crate::metrics;
+use crate::trace;
+use std::borrow::Cow;
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
+/// Per-thread span state: the incremental dotted path of open spans,
+/// the byte offsets to rewind to on each close, and the interned
+/// path → histogram handles.
+#[derive(Default)]
+struct ThreadSpans {
+    path: String,
+    rewinds: Vec<usize>,
+    histograms: HashMap<String, Arc<metrics::Histogram>>,
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static SPANS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::default());
 }
 
 /// An open span; records its latency histogram on drop.
 #[derive(Debug)]
 pub struct Span {
     /// `None` when telemetry was disabled at entry — a pure no-op.
-    armed: Option<(String, Instant)>,
+    armed: Option<Instant>,
 }
 
 /// Enter a span named `name`. Prefer the [`crate::span!`] macro.
@@ -32,26 +55,53 @@ pub fn enter(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span { armed: None };
     }
-    let path = STACK.with(|s| {
+    SPANS.with(|s| {
         let mut s = s.borrow_mut();
-        s.push(name);
-        s.join(".")
+        let rewind = s.path.len();
+        s.rewinds.push(rewind);
+        if !s.path.is_empty() {
+            s.path.push('.');
+        }
+        s.path.push_str(name);
+        if trace::enabled() {
+            trace::begin(Cow::Owned(s.path.clone()));
+        }
     });
     Span {
-        armed: Some((path, Instant::now())),
+        armed: Some(Instant::now()),
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some((path, start)) = self.armed.take() else {
+        let Some(start) = self.armed.take() else {
             return;
         };
-        STACK.with(|s| {
-            s.borrow_mut().pop();
-        });
         let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        metrics::histogram(&format!("span.{path}"), &metrics::LATENCY_NS).record(ns);
+        SPANS.with(|s| {
+            let mut s = s.borrow_mut();
+            let ThreadSpans {
+                path,
+                rewinds,
+                histograms,
+            } = &mut *s;
+            if !histograms.contains_key(path.as_str()) {
+                let handle =
+                    metrics::histogram(&format!("span.{path}"), &metrics::LATENCY_NS);
+                histograms.insert(path.clone(), handle);
+            }
+            histograms[path.as_str()].record(ns);
+            if trace::enabled() {
+                let args = metrics::global()
+                    .counter_values()
+                    .into_iter()
+                    .map(|(k, v)| (Cow::Owned(k), v))
+                    .collect();
+                trace::end_with_args(Cow::Owned(path.clone()), args);
+            }
+            let rewind = rewinds.pop().unwrap_or(0);
+            path.truncate(rewind);
+        });
     }
 }
 
@@ -88,6 +138,28 @@ mod tests {
     }
 
     #[test]
+    fn reentered_spans_reuse_interned_histogram_handles() {
+        let _lock = switch_lock();
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _g = enter("interned_span_test");
+        }
+        let before = metrics::global().snapshot().histograms["span.interned_span_test"].count;
+        {
+            let _g = enter("interned_span_test");
+        }
+        let after = metrics::global().snapshot().histograms["span.interned_span_test"].count;
+        assert_eq!(after, before + 1);
+        // The thread-local cache interned the path.
+        let cached = SPANS.with(|s| {
+            s.borrow()
+                .histograms
+                .contains_key("interned_span_test")
+        });
+        assert!(cached, "dotted path must be interned after first use");
+    }
+
+    #[test]
     fn disabled_spans_record_nothing_and_keep_stack_clean() {
         let _lock = switch_lock();
         crate::set_enabled(false);
@@ -103,5 +175,41 @@ mod tests {
         }
         let snap = metrics::global().snapshot();
         assert!(snap.histograms.contains_key("span.balanced_span_test"));
+    }
+
+    #[test]
+    fn armed_tracing_brackets_spans_with_counter_snapshots() {
+        let _lock = switch_lock();
+        crate::set_enabled(true);
+        trace::clear();
+        trace::enable(1024);
+        {
+            let _g = enter("traced_span_test");
+        }
+        trace::disable();
+        let lane = trace::current_lane().expect("span recorded on this lane");
+        let events: Vec<trace::Event> = trace::snapshot()
+            .into_iter()
+            .find(|(id, _)| *id == lane)
+            .map(|(_, events)| events)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|e| e.name.ends_with("traced_span_test"))
+            .collect();
+        let begins = events
+            .iter()
+            .filter(|e| e.phase == trace::Phase::Begin)
+            .count();
+        let ends: Vec<&trace::Event> = events
+            .iter()
+            .filter(|e| e.phase == trace::Phase::End)
+            .collect();
+        assert!(begins >= 1, "span begin must reach the trace lane");
+        assert!(!ends.is_empty(), "span end must reach the trace lane");
+        assert!(
+            !ends[0].args.is_empty(),
+            "span end must carry a counter snapshot"
+        );
+        trace::clear();
     }
 }

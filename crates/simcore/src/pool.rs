@@ -115,7 +115,10 @@ impl ExecPool {
             return chunks
                 .iter()
                 .enumerate()
-                .map(|(i, c)| unwrap_shard(i, self.call_shard(i, c, &f)))
+                .map(|(i, c)| {
+                    let _t = obs::trace::Guard::new("pool.shard", Some(("shard", i as u64)));
+                    unwrap_shard(i, self.call_shard(i, c, &f))
+                })
                 .collect();
         }
         metrics.calls.inc();
@@ -138,7 +141,12 @@ impl ExecPool {
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(idx) else { break };
-                        local.push((idx, self.call_shard(idx, chunk, &f)));
+                        let r = {
+                            let _t =
+                                obs::trace::Guard::new("pool.shard", Some(("shard", idx as u64)));
+                            self.call_shard(idx, chunk, &f)
+                        };
+                        local.push((idx, r));
                     }
                     collected
                         .lock()
@@ -202,7 +210,10 @@ impl ExecPool {
         let mut acc = init;
         if self.workers == 1 || chunks.len() <= 1 {
             for (i, c) in chunks.iter().enumerate() {
-                let r = unwrap_shard(i, self.call_shard(i, c, &f));
+                let r = {
+                    let _t = obs::trace::Guard::new("pool.shard", Some(("shard", i as u64)));
+                    unwrap_shard(i, self.call_shard(i, c, &f))
+                };
                 fold(&mut acc, i, r);
             }
             return acc;
@@ -231,7 +242,11 @@ impl ExecPool {
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(idx) else { break };
-                        let r = self.call_shard(idx, chunk, f);
+                        let r = {
+                            let _t =
+                                obs::trace::Guard::new("pool.shard", Some(("shard", idx as u64)));
+                            self.call_shard(idx, chunk, f)
+                        };
                         ready
                             .lock()
                             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -246,17 +261,29 @@ impl ExecPool {
             'drain: for want in 0..chunks.len() {
                 let r = {
                     let mut buf = ready.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                    loop {
-                        if let Some(r) = buf.remove(&want) {
-                            break r;
+                    match buf.remove(&want) {
+                        Some(r) => r,
+                        None => {
+                            // The next in-order shard isn't ready: the
+                            // reorder buffer blocks here, which is the
+                            // interval the flight recorder surfaces.
+                            let _wait = obs::trace::Guard::new(
+                                "pool.reorder_wait",
+                                Some(("shard", want as u64)),
+                            );
+                            loop {
+                                if worker_died.load(Ordering::Acquire) {
+                                    break 'drain;
+                                }
+                                buf = done
+                                    .wait_timeout(buf, std::time::Duration::from_millis(20))
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .0;
+                                if let Some(r) = buf.remove(&want) {
+                                    break r;
+                                }
+                            }
                         }
-                        if worker_died.load(Ordering::Acquire) {
-                            break 'drain;
-                        }
-                        buf = done
-                            .wait_timeout(buf, std::time::Duration::from_millis(20))
-                            .unwrap_or_else(|poisoned| poisoned.into_inner())
-                            .0;
                     }
                 };
                 fold(&mut acc, want, unwrap_shard(want, r));

@@ -73,6 +73,9 @@ pub fn capture<T>(site: &str, f: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
         Ok(v) => Ok(v),
         Err(payload) => {
             counters().caught.inc();
+            if obs::trace::enabled() {
+                obs::trace::instant(format!("chaos.caught.{site}"), &[]);
+            }
             Err(CaughtPanic {
                 site: site.to_string(),
                 message: payload_message(payload.as_ref()),
@@ -90,6 +93,12 @@ pub fn try_with_retry<T>(site: &str, mut f: impl FnMut(u32) -> T) -> Result<T, C
             Ok(v) => {
                 if attempt > 0 {
                     counters().recovered.inc();
+                    if obs::trace::enabled() {
+                        obs::trace::instant(
+                            format!("chaos.recovered.{site}"),
+                            &[("attempt", u64::from(attempt))],
+                        );
+                    }
                 }
                 return Ok(v);
             }

@@ -1,0 +1,145 @@
+//! Validate a flight-recorder trace file (`make trace`).
+//!
+//! Reads the Chrome trace-event JSON written by `ddoscovery ... --trace
+//! PATH` and checks the structural invariants the recorder promises
+//! (DESIGN.md §10):
+//!
+//! * the document parses and has a `traceEvents` array;
+//! * every duration event closes — per lane (`tid`), each `E` matches
+//!   the innermost open `B` of the same name and no `B` is left open;
+//! * timestamps are monotone within each lane;
+//! * the `ExecPool` fan-out shows up as `pool.shard` spans on at least
+//!   two distinct worker lanes (the whole point of per-thread lanes);
+//! * the stage cache left at least one `cache.*` event.
+//!
+//! Exits non-zero with a message on the first violated invariant, so
+//! `make trace` fails loudly instead of shipping a broken trace.
+
+use serde_json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn num(v: &Value, ctx: &str) -> f64 {
+    match v {
+        Value::UInt(u) => *u as f64,
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        other => fail(&format!("{ctx}: expected number, got {}", other.kind())),
+    }
+}
+
+fn text<'a>(v: &'a Value, ctx: &str) -> &'a str {
+    match v {
+        Value::Str(s) => s,
+        other => fail(&format!("{ctx}: expected string, got {}", other.kind())),
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value =
+        serde_json::from_str(&raw).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(events)) => events,
+        _ => fail("missing traceEvents array"),
+    };
+    if events.is_empty() {
+        fail("traceEvents is empty — recorder produced no events");
+    }
+
+    // Per-lane open-span stacks, monotonicity watermarks, and the
+    // evidence the fan-out and cache actually traced.
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut last_ts: Vec<(u64, f64)> = Vec::new();
+    let mut shard_lanes: Vec<u64> = Vec::new();
+    let mut cache_events = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = format!("traceEvents[{i}]");
+        let ph = text(
+            ev.get("ph").unwrap_or_else(|| fail(&format!("{ctx}: no ph"))),
+            &ctx,
+        );
+        let name = text(
+            ev.get("name")
+                .unwrap_or_else(|| fail(&format!("{ctx}: no name"))),
+            &ctx,
+        )
+        .to_string();
+        let tid = num(
+            ev.get("tid")
+                .unwrap_or_else(|| fail(&format!("{ctx}: no tid"))),
+            &ctx,
+        ) as u64;
+        let ts = num(
+            ev.get("ts").unwrap_or_else(|| fail(&format!("{ctx}: no ts"))),
+            &ctx,
+        );
+
+        match last_ts.iter_mut().find(|(lane, _)| *lane == tid) {
+            Some((_, watermark)) => {
+                if ts < *watermark {
+                    fail(&format!("{ctx}: ts {ts} went backwards on lane {tid}"));
+                }
+                *watermark = ts;
+            }
+            None => last_ts.push((tid, ts)),
+        }
+
+        let stack = match stacks.iter_mut().find(|(lane, _)| *lane == tid) {
+            Some((_, stack)) => stack,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => {
+                if name == "pool.shard" && !shard_lanes.contains(&tid) {
+                    shard_lanes.push(tid);
+                }
+                stack.push(name);
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => fail(&format!("{ctx}: E `{name}` closes open B `{open}`")),
+                None => fail(&format!("{ctx}: E `{name}` with no open B on lane {tid}")),
+            },
+            "i" => {
+                if name.starts_with("cache.") {
+                    cache_events += 1;
+                }
+            }
+            other => fail(&format!("{ctx}: unknown phase `{other}`")),
+        }
+    }
+    for (lane, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            fail(&format!("lane {lane}: span `{open}` never closed"));
+        }
+    }
+    if shard_lanes.len() < 2 {
+        fail(&format!(
+            "pool.shard spans on {} lane(s) — expected the fan-out to use >= 2 worker lanes",
+            shard_lanes.len()
+        ));
+    }
+    if cache_events == 0 {
+        fail("no cache.* events — stage cache left no trace");
+    }
+
+    println!(
+        "trace_check: OK: {} events, {} lanes, {} pool.shard lanes, {} cache events",
+        events.len(),
+        stacks.len(),
+        shard_lanes.len(),
+        cache_events
+    );
+}

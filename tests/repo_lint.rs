@@ -1,5 +1,5 @@
 //! Source lint wired into the test suite (mirrors `tools/lint.sh`),
-//! five rules:
+//! six rules:
 //!
 //! 1. No wall-clock or OS-entropy primitives anywhere in simulation
 //!    code: every stochastic draw must fork from the study seed and
@@ -24,6 +24,11 @@
 //!    (DESIGN.md §8): every caught panic flows through
 //!    `recover::capture` so retry budgets and `fault.*` counters stay
 //!    consistent.
+//! 6. Chrome trace-event emission (the `traceEvents` document key) is
+//!    confined to `crates/obs/src/trace.rs`, the flight recorder
+//!    (DESIGN.md §10): one exporter owns the event schema. Consumers
+//!    outside library sources (tests, `examples/trace_check.rs`) may
+//!    parse the format freely.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -152,6 +157,18 @@ fn repo_lint_rules_hold() {
             patterns: vec![["catch_", "unwind"].concat()],
             dirs: &["crates", "src", "examples", "tests"],
             allow: |rel| rel == "crates/simcore/src/recover.rs",
+            library_lines_only: false,
+        },
+        Rule {
+            name: "trace-event emission outside the flight recorder",
+            patterns: vec![["traceEv", "ents"].concat()],
+            dirs: &["crates", "src"],
+            // Same library scope as the print rule: only src/ files are
+            // emitters; tests and examples merely parse the format.
+            allow: |rel| {
+                !(rel.starts_with("src/") || rel.contains("/src/"))
+                    || rel == "crates/obs/src/trace.rs"
+            },
             library_lines_only: false,
         },
     ];

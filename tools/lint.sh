@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo lint, five rules (mirrored by tests/repo_lint.rs):
+# Repo lint, six rules (mirrored by tests/repo_lint.rs):
 #
 # 1. No wall-clock or OS-entropy primitives in simulation code. The
 #    reproducibility contract (DESIGN.md §4) requires every stochastic
@@ -34,6 +34,12 @@
 #    boundaries hide bugs and break the deterministic-failure contract:
 #    every caught panic must flow through `recover::capture` so retry
 #    budgets and `fault.*` counters stay consistent.
+# 6. Chrome trace-event emission (`traceEvents`) lives only in
+#    `crates/obs/src/trace.rs`, the flight recorder (DESIGN.md §10).
+#    A second emitter would fork the event schema and silently break
+#    the side-channel invariant tests that validate the one exporter.
+#    Consumers (tests, examples like trace_check) may parse the format;
+#    library code outside the recorder may not produce it.
 #
 # Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
@@ -82,7 +88,15 @@ if grep -rnE 'catch_unwind' crates src examples tests --include='*.rs' 2>/dev/nu
     fail=1
 fi
 
+if grep -rnE 'traceEvents' crates src --include='*.rs' 2>/dev/null \
+    | grep -E '(^|/)src/' \
+    | grep -vE '^crates/obs/src/trace\.rs:' \
+    | grep . ; then
+    echo "lint: trace-event emission outside crates/obs/src/trace.rs (one exporter only)" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement, trace-export confinement)"
