@@ -1,4 +1,4 @@
-.PHONY: build test lint bench bench-json check telemetry chaos scale trace regress
+.PHONY: build test lint bench bench-json check telemetry chaos scale trace regress store
 
 build:
 	cargo build --release
@@ -14,14 +14,16 @@ lint:
 bench:
 	cargo bench --workspace
 
-# Bench trajectory: the three JSON-emitting benches write
-# BENCH_pipeline.json, BENCH_sweep.json, and BENCH_population.json at
-# the repo root as run manifests (seed, config fingerprint, metrics) so
-# `ddoscovery runs diff` can compare any two of them across commits.
+# Bench trajectory: the JSON-emitting benches write
+# BENCH_pipeline.json, BENCH_sweep.json, BENCH_population.json, and
+# BENCH_store.json at the repo root as run manifests (seed, config
+# fingerprint, metrics) so `ddoscovery runs diff` can compare any two
+# of them across commits.
 bench-json:
 	cargo bench -p ddoscovery-bench --bench pipeline
 	cargo bench -p ddoscovery-bench --bench sweep
 	cargo bench -p ddoscovery-bench --bench population
+	cargo bench -p ddoscovery-bench --bench store
 
 # Perf regression gate: diff each fresh BENCH file against the stored
 # baseline under .ddoscovery/bench/ with a generous wall-clock gate,
@@ -55,6 +57,36 @@ scale:
 		cargo run --release --example scale_probe
 	cargo bench -p ddoscovery-bench --bench population
 	cargo test -q --release --test scale_smoke -- --ignored
+
+# Cross-process warm smoke (DESIGN.md §11): two sequential CLI runs
+# share a stage store — the second process must serve every stage from
+# the disk tier (zero recomputation) and print byte-identical stdout —
+# then `store list` inspects the cells and `store gc --max-bytes 0`
+# empties them.
+store:
+	@rm -rf /tmp/ddoscovery-store-smoke && mkdir -p /tmp/ddoscovery-store-smoke
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		trends --quick --workers 2 --store /tmp/ddoscovery-store-smoke/cells \
+		> /tmp/ddoscovery-store-smoke/cold.txt
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		trends --quick --workers 2 --store /tmp/ddoscovery-store-smoke/cells \
+		--telemetry /tmp/ddoscovery-store-smoke/warm.json \
+		> /tmp/ddoscovery-store-smoke/warm.txt
+	cmp /tmp/ddoscovery-store-smoke/cold.txt /tmp/ddoscovery-store-smoke/warm.txt
+	@grep -q '"stage.plan.disk_hit": 1' /tmp/ddoscovery-store-smoke/warm.json || \
+		{ echo "store: warm run did not hit the plan cell" >&2; exit 1; }
+	@grep -q '"stage.attacks.disk_hit": 1' /tmp/ddoscovery-store-smoke/warm.json || \
+		{ echo "store: warm run did not hit the attacks cell" >&2; exit 1; }
+	@grep -q '"stage.observations.disk_hit": 12' /tmp/ddoscovery-store-smoke/warm.json || \
+		{ echo "store: warm run did not hit all observation cells" >&2; exit 1; }
+	@grep -q '"stage.plan.computed": 0' /tmp/ddoscovery-store-smoke/warm.json || \
+		{ echo "store: warm run recomputed the plan" >&2; exit 1; }
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		store list --store /tmp/ddoscovery-store-smoke/cells
+	cargo run --release -p ddoscovery --bin ddoscovery -- \
+		store gc --max-bytes 0 --store /tmp/ddoscovery-store-smoke/cells
+	@rm -rf /tmp/ddoscovery-store-smoke
+	@echo "store: ok (cross-process warm hits, byte-identical stdout, gc)"
 
 # Fault-injection suite under several pool widths: the chaos tests
 # assert byte-identical output across worker counts internally, and

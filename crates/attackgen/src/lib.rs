@@ -18,6 +18,7 @@ pub mod sav;
 pub mod scans;
 pub mod shape;
 pub mod timeline;
+pub mod wire;
 
 pub use attack::{Attack, AttackClass, AttackId, AttackVector, ReflectorUse};
 pub use booters::{Booter, BooterMarket, BooterMarketParams};

@@ -6,6 +6,7 @@
 //! ddoscovery config                       # dump the study config JSON
 //! ddoscovery trends [--quick] [--seed N]  # one-screen Table-1 summary
 //! ddoscovery runs list|show R|diff A B    # persistent run history
+//! ddoscovery store list|gc --max-bytes N  # persistent stage store
 //! ```
 //!
 //! Stream discipline: stdout carries machine-readable experiment
@@ -41,7 +42,10 @@ fn usage() -> ExitCode {
          \u{20}  runs diff A B [--gate PCT]   compare two stored runs; with\n\
          \u{20}                               --gate, exit 1 when any\n\
          \u{20}                               deterministic metric moves more\n\
-         \u{20}                               than PCT percent\n\n\
+         \u{20}                               than PCT percent\n\
+         \u{20}  store list                   list persistent stage-store cells\n\
+         \u{20}  store gc --max-bytes N       shrink the stage store to at most\n\
+         \u{20}                               N bytes (oldest cells first)\n\n\
          options:\n\
          \u{20}  --quick            scaled-down study (~1/8 volume)\n\
          \u{20}  --seed N           master seed: decimal, or hex with an\n\
@@ -72,6 +76,14 @@ fn usage() -> ExitCode {
          \u{20}  --runs-dir DIR     run-history store for --telemetry and\n\
          \u{20}                     the runs subcommands (default\n\
          \u{20}                     .ddoscovery/runs; env: DDOSCOVERY_RUNS_DIR)\n\
+         \u{20}  --store [DIR]      persistent stage store: warm stages are\n\
+         \u{20}                     loaded from DIR (integrity-checked) and\n\
+         \u{20}                     fresh stages written back, sharing work\n\
+         \u{20}                     across processes (default DIR\n\
+         \u{20}                     .ddoscovery/store; env: DDOSCOVERY_STORE;\n\
+         \u{20}                     `--store off` forces it off; output is\n\
+         \u{20}                     identical with or without it)\n\
+         \u{20}  --max-bytes N      with store gc: the size to shrink to\n\
          \u{20}  --gate PCT         with runs diff: fail (exit 1) when a\n\
          \u{20}                     counter or gauge moves more than PCT%\n\n\
          exit codes:\n\
@@ -108,6 +120,8 @@ struct Options {
     trace: Option<String>,
     runs_dir: Option<String>,
     gate: Option<f64>,
+    store: Option<String>,
+    max_bytes: Option<u64>,
     ids: Vec<String>,
 }
 
@@ -134,9 +148,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         runs_dir: None,
         gate: None,
+        store: None,
+        max_bytes: None,
         ids: Vec::new(),
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
@@ -176,6 +192,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--runs-dir" => {
                 opts.runs_dir = Some(it.next().ok_or("--runs-dir needs a value")?.clone());
             }
+            // The store directory is optional: a bare `--store` means
+            // the default dir, `--store DIR` (or `--store=DIR`) pins
+            // one, `--store off` forces the store off. The next token
+            // is taken as the directory unless it looks like a flag.
+            "--store" => {
+                let dir = match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        it.next().expect("peeked value exists").clone()
+                    }
+                    _ => ddoscovery::diskstore::DEFAULT_STORE_DIR.to_string(),
+                };
+                opts.store = Some(dir);
+            }
+            "--max-bytes" => {
+                let v = it.next().ok_or("--max-bytes needs a value")?;
+                opts.max_bytes =
+                    Some(v.parse().map_err(|_| format!("bad byte count {v:?}"))?);
+            }
             "--gate" => {
                 let v = it.next().ok_or("--gate needs a value")?;
                 let pct: f64 = v
@@ -185,6 +219,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err(format!("--gate must be a non-negative percentage, got {v}"));
                 }
                 opts.gate = Some(pct);
+            }
+            other if other.starts_with("--store=") => {
+                opts.store = Some(other["--store=".len()..].to_string());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
@@ -266,6 +303,11 @@ fn build_config(opts: &Options) -> Result<StudyConfig, Error> {
         if let Err(message) = ddoscovery::stagecache::parse_env_bound(&v) {
             return Err(Error::config("stage_cache", message));
         }
+    }
+    // The flag wins over DDOSCOVERY_STORE, which `diskstore::resolve`
+    // consults when the config knob is None.
+    if opts.store.is_some() {
+        cfg.disk_store = opts.store.clone();
     }
     if let Some(path) = &opts.faults {
         let text = fs::read_to_string(path).map_err(|e| Error::io(path.clone(), &e))?;
@@ -552,6 +594,89 @@ fn cmd_runs(opts: &Options) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------
+// Persistent stage store: `ddoscovery store list|gc`
+// ---------------------------------------------------------------------
+
+/// The stage store the `store` subcommand operates on: `--store [DIR]`
+/// wins over `DDOSCOVERY_STORE`, which wins over the default
+/// directory. (Unlike a run, the subcommand needs *some* directory to
+/// inspect, so "unset" falls through to the default instead of off.)
+fn stage_store(opts: &Options) -> Result<ddoscovery::DiskStore, String> {
+    let dir = opts
+        .store
+        .clone()
+        .or_else(|| {
+            std::env::var(ddoscovery::diskstore::STORE_ENV)
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+        })
+        .unwrap_or_else(|| ddoscovery::diskstore::DEFAULT_STORE_DIR.to_string());
+    if dir.trim().eq_ignore_ascii_case("off") {
+        return Err("stage store is off (give --store DIR to pick one)".into());
+    }
+    Ok(ddoscovery::DiskStore::open(dir.into()))
+}
+
+/// One line per cell on stdout, plus a totals line.
+fn cmd_store_list(store: &ddoscovery::DiskStore) -> ExitCode {
+    let cells = store.list();
+    if cells.is_empty() {
+        obs::info!("stage store {} is empty", store.dir().display());
+        return ExitCode::SUCCESS;
+    }
+    println!("{:<13} {:<16} {:>12} {:>12}", "stage", "key", "bytes", "mtime");
+    let mut total = 0u64;
+    for cell in &cells {
+        total += cell.bytes;
+        println!(
+            "{:<13} {:<16} {:>12} {:>12}",
+            cell.stage, cell.key, cell.bytes, cell.mtime_secs
+        );
+    }
+    println!("total {} cell(s), {total} bytes in {}", cells.len(), store.dir().display());
+    ExitCode::SUCCESS
+}
+
+/// Shrink the store to `--max-bytes`, oldest cells first.
+fn cmd_store_gc(store: &ddoscovery::DiskStore, opts: &Options) -> ExitCode {
+    let Some(max_bytes) = opts.max_bytes else {
+        obs::error!("store gc needs --max-bytes N");
+        return ExitCode::from(2);
+    };
+    let report = store.gc(max_bytes);
+    println!(
+        "removed {} cell(s) ({} bytes); {} cell(s) ({} bytes) remain in {}",
+        report.removed,
+        report.freed_bytes,
+        report.kept,
+        report.kept_bytes,
+        store.dir().display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_store(opts: &Options) -> ExitCode {
+    let store = match stage_store(opts) {
+        Ok(store) => store,
+        Err(e) => {
+            obs::error!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ids: Vec<&str> = opts.ids.iter().map(String::as_str).collect();
+    match ids.as_slice() {
+        [] | ["list"] => cmd_store_list(&store),
+        ["gc"] => cmd_store_gc(&store, opts),
+        other => {
+            obs::error!(
+                "usage: ddoscovery store list | gc --max-bytes N (got {other:?})"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -571,6 +696,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "trends" => cmd_trends(&opts),
         "runs" => cmd_runs(&opts),
+        "store" => cmd_store(&opts),
         _ => usage(),
     }
 }
@@ -703,6 +829,43 @@ mod tests {
         assert_eq!(opts.telemetry.as_deref(), Some("m.json"));
         assert_eq!(opts.ids, ["t1"]);
         assert!(parse(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn store_flag_takes_an_optional_directory() {
+        // Bare flag → default directory.
+        let opts = parse(&["--store"]).unwrap();
+        assert_eq!(
+            opts.store.as_deref(),
+            Some(ddoscovery::diskstore::DEFAULT_STORE_DIR)
+        );
+        // Explicit directory, both spellings.
+        assert_eq!(parse(&["--store", "warm"]).unwrap().store.as_deref(), Some("warm"));
+        assert_eq!(parse(&["--store=warm"]).unwrap().store.as_deref(), Some("warm"));
+        // A following flag is not swallowed as the directory.
+        let opts = parse(&["--store", "--quick"]).unwrap();
+        assert_eq!(
+            opts.store.as_deref(),
+            Some(ddoscovery::diskstore::DEFAULT_STORE_DIR)
+        );
+        assert!(opts.quick);
+        // `off` lands in the config and resolves to no store.
+        let cfg = build_config(&parse(&["--quick", "--store", "off"]).unwrap()).unwrap();
+        assert_eq!(cfg.disk_store.as_deref(), Some("off"));
+        assert!(ddoscovery::diskstore::resolve_dir(&cfg).is_none());
+        // A real directory resolves to it.
+        let cfg = build_config(&parse(&["--quick", "--store", "warm"]).unwrap()).unwrap();
+        assert_eq!(
+            ddoscovery::diskstore::resolve_dir(&cfg),
+            Some(std::path::PathBuf::from("warm"))
+        );
+    }
+
+    #[test]
+    fn max_bytes_flag_parses() {
+        assert_eq!(parse(&["--max-bytes", "4096"]).unwrap().max_bytes, Some(4096));
+        assert!(parse(&["--max-bytes", "much"]).is_err());
+        assert!(parse(&["--max-bytes"]).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! configuration, the end-to-end pipeline, and the experiment registry
 //! that regenerates every table and figure of the paper.
 
+pub mod diskstore;
 pub mod error;
 pub mod experiments;
 pub mod faults;
@@ -11,6 +12,7 @@ pub mod scenario;
 pub mod stagecache;
 pub mod sweep;
 
+pub use diskstore::DiskStore;
 pub use error::{Error, Result};
 pub use experiments::{all_ids, run_all, run_experiment, ExperimentResult};
 pub use faults::{ChaosPlan, ChurnSpec, DegradationSpec, FaultPlan, OutageSpec};

@@ -356,6 +356,12 @@ impl StudyRun {
     pub fn execute_on(config: &StudyConfig, pool: &ExecPool) -> StudyRun {
         let bound = stagecache::resolve_bound(config);
         let cache = StageCache::global();
+        // The disk tier under the memory cache (DESIGN.md §11): probed
+        // only after a memory miss, written only after a fresh
+        // compute. Loads are integrity-checked; a rejected cell falls
+        // back to recompute, so enabling the store never changes an
+        // output byte.
+        let disk = crate::diskstore::resolve(config);
         let fp = StageFingerprints::of(config);
         let root = SimRng::new(config.seed);
 
@@ -370,26 +376,63 @@ impl StudyRun {
             None => *pool,
         };
 
-        // Stage 1 — plan (inputs: seed + config.net).
-        let plan = cache.plan(bound, fp.plan, || {
-            crate::faults::with_chaos(chaos.as_ref(), "stage.plan", fp.plan, || {
-                let _s = obs::span!("plan");
-                let mut plan_rng = root.fork_named("plan");
-                Arc::new(InternetPlan::build(&config.net, &mut plan_rng))
+        // Stage 1 — plan (inputs: seed + config.net). Memory tier
+        // first, then the disk store, then a fresh build (which
+        // populates both tiers).
+        let plan = cache
+            .get_plan(bound, fp.plan)
+            .or_else(|| {
+                let loaded = disk.as_ref()?.load_plan(fp.plan)?;
+                cache.adopt_plan(bound, fp.plan, Arc::clone(&loaded));
+                Some(loaded)
             })
-        });
+            .unwrap_or_else(|| {
+                let mut fresh = false;
+                let plan = cache.plan(bound, fp.plan, || {
+                    fresh = true;
+                    crate::faults::with_chaos(chaos.as_ref(), "stage.plan", fp.plan, || {
+                        let _s = obs::span!("plan");
+                        let mut plan_rng = root.fork_named("plan");
+                        Arc::new(InternetPlan::build(&config.net, &mut plan_rng))
+                    })
+                });
+                if fresh {
+                    if let Some(d) = &disk {
+                        d.store_plan(fp.plan, &plan);
+                    }
+                }
+                plan
+            });
 
         record_peak_rss("plan");
 
-        // Stage 2 — attacks (inputs: plan + config.gen + seed).
-        let attacks = cache.attacks(bound, fp.attacks, || {
-            crate::faults::with_chaos(chaos.as_ref(), "stage.attacks", fp.attacks, || {
-                Arc::new(
-                    AttackGenerator::new(&plan, config.gen.clone(), &root)
-                        .generate_study_on(pool),
-                )
+        // Stage 2 — attacks (inputs: plan + config.gen + seed). Same
+        // two-tier lookup as the plan.
+        let attacks = cache
+            .get_attacks(bound, fp.attacks)
+            .or_else(|| {
+                let loaded = disk.as_ref()?.load_attacks(fp.attacks)?;
+                cache.adopt_attacks(bound, fp.attacks, Arc::clone(&loaded));
+                Some(loaded)
             })
-        });
+            .unwrap_or_else(|| {
+                let mut fresh = false;
+                let attacks = cache.attacks(bound, fp.attacks, || {
+                    fresh = true;
+                    crate::faults::with_chaos(chaos.as_ref(), "stage.attacks", fp.attacks, || {
+                        Arc::new(
+                            AttackGenerator::new(&plan, config.gen.clone(), &root)
+                                .generate_study_on(pool),
+                        )
+                    })
+                });
+                if fresh {
+                    if let Some(d) = &disk {
+                        d.store_attacks(fp.attacks, &attacks);
+                    }
+                }
+                attacks
+            });
 
         record_peak_rss("attacks");
 
@@ -421,6 +464,25 @@ impl StudyRun {
             .map(|&id| cache.get_observations(bound, fp.observation(id)))
             .collect();
         let mut alerts = cache.get_alerts(bound, fp.netscout_alerts);
+
+        // Disk tier: fill memory misses from stored cells before
+        // deciding which observatories must re-run.
+        if let Some(d) = &disk {
+            for &id in ObsId::ALL.iter() {
+                if streams[id.index()].is_none() {
+                    if let Some(v) = d.load_observations(fp.observation(id)) {
+                        cache.adopt_observations(bound, fp.observation(id), Arc::clone(&v));
+                        streams[id.index()] = Some(v);
+                    }
+                }
+            }
+            if alerts.is_none() {
+                if let Some(v) = d.load_alerts(fp.netscout_alerts) {
+                    cache.adopt_alerts(bound, fp.netscout_alerts, Arc::clone(&v));
+                    alerts = Some(v);
+                }
+            }
+        }
 
         // Source indices of the fan-out; sources 5–7 each produce two
         // final streams (their RA/DP splits), source 7 also the raw
@@ -592,6 +654,9 @@ impl StudyRun {
                     v.shrink_to_fit();
                     let arc = Arc::new(v);
                     cache.insert_observations(bound, fp.observation(id), Arc::clone(&arc));
+                    if let Some(d) = &disk {
+                        d.store_observations(fp.observation(id), &arc);
+                    }
                     streams[id.index()] = Some(arc);
                 }
             };
@@ -610,6 +675,9 @@ impl StudyRun {
                 alerts_raw.shrink_to_fit();
                 let arc = Arc::new(alerts_raw);
                 cache.insert_alerts(bound, fp.netscout_alerts, Arc::clone(&arc));
+                if let Some(d) = &disk {
+                    d.store_alerts(fp.netscout_alerts, &arc);
+                }
                 alerts = Some(arc);
             }
         }

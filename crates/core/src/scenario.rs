@@ -70,6 +70,13 @@ pub struct StudyConfig {
     /// byte-identical either way — the cache stores exact stage
     /// outputs keyed by fingerprints of exactly their inputs.
     pub stage_cache: Option<usize>,
+    /// Persistent stage-store directory (DESIGN.md §11). `None` uses
+    /// the process default (the `DDOSCOVERY_STORE` env var — a
+    /// directory path — else off); `Some(dir)` enables the disk tier
+    /// there; an empty string or `off` forces it off. Results are
+    /// byte-identical either way: loads are integrity-checked and a
+    /// rejected cell falls back to recompute.
+    pub disk_store: Option<String>,
 }
 
 impl Default for StudyConfig {
@@ -84,6 +91,7 @@ impl Default for StudyConfig {
             chaos: None,
             workers: None,
             stage_cache: None,
+            disk_store: None,
         }
     }
 }
@@ -305,6 +313,7 @@ mod tests {
         );
         assert_eq!(back.obs.carpet_gap_secs, cfg.obs.carpet_gap_secs);
         assert_eq!(back.stage_cache, cfg.stage_cache);
+        assert_eq!(back.disk_store, cfg.disk_store);
         assert_eq!(back.faults, cfg.faults);
         assert_eq!(back.chaos, cfg.chaos);
     }

@@ -106,6 +106,7 @@ pub const FIELD_STAGES: &[(&str, &str)] = &[
     ("missing_data", "projection"),
     ("workers", "execution"),
     ("stage_cache", "execution"),
+    ("disk_store", "execution"),
     ("chaos", "execution"),
 ];
 
@@ -530,6 +531,57 @@ impl StageCache {
         self.enforce_bound(bound, key);
     }
 
+    /// Insert a value that was *loaded*, not computed — a disk-store
+    /// hit entering the memory tier. Unlike [`StageCache::insert`]
+    /// this does not advance `stage.<name>.computed` (that counter
+    /// means stage executions; the disk tier counts its own
+    /// `disk_hit`), and it emits no compute trace event.
+    fn adopt(&self, bound: usize, key: u64, value: StageValue) {
+        if bound == 0 {
+            return;
+        }
+        let (cell, _) = self.slot(key);
+        let _ = cell.set(value);
+        self.enforce_bound(bound, key);
+    }
+
+    /// Cached Internet plan for `key`, if any (lookup-only — the
+    /// disk-tier flow probes memory before touching the filesystem).
+    pub fn get_plan(&self, bound: usize, key: u64) -> Option<Arc<InternetPlan>> {
+        match self.get(Stage::Plan, bound, key)? {
+            StageValue::Plan(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Cached attack stream for `key`, if any (lookup-only).
+    pub fn get_attacks(&self, bound: usize, key: u64) -> Option<Arc<AttackColumns>> {
+        match self.get(Stage::Attacks, bound, key)? {
+            StageValue::Attacks(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Adopt a disk-loaded Internet plan into the memory tier.
+    pub fn adopt_plan(&self, bound: usize, key: u64, v: Arc<InternetPlan>) {
+        self.adopt(bound, key, StageValue::Plan(v));
+    }
+
+    /// Adopt a disk-loaded attack stream into the memory tier.
+    pub fn adopt_attacks(&self, bound: usize, key: u64, v: Arc<AttackColumns>) {
+        self.adopt(bound, key, StageValue::Attacks(v));
+    }
+
+    /// Adopt a disk-loaded observation stream into the memory tier.
+    pub fn adopt_observations(&self, bound: usize, key: u64, v: Arc<ObservationColumns>) {
+        self.adopt(bound, key, StageValue::Observations(v));
+    }
+
+    /// Adopt a disk-loaded Netscout alert stream into the memory tier.
+    pub fn adopt_alerts(&self, bound: usize, key: u64, v: Arc<AlertColumns>) {
+        self.adopt(bound, key, StageValue::Alerts(v));
+    }
+
     /// The Internet plan for `key`, built on a miss.
     pub fn plan(
         &self,
@@ -684,6 +736,7 @@ mod tests {
             (|c: &mut StudyConfig| c.missing_data = !c.missing_data) as fn(&mut StudyConfig),
             |c| c.workers = Some(7),
             |c| c.stage_cache = Some(3),
+            |c| c.disk_store = Some("/tmp/elsewhere".into()),
             |c| c.chaos = Some(crate::faults::ChaosPlan::recoverable(0.5, 1)),
         ] {
             let mut cfg = StudyConfig::quick();
@@ -775,6 +828,29 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    /// Adoption (disk-tier loads entering the memory tier) fills the
+    /// slot without counting a stage execution — `computed` means "the
+    /// stage actually ran", and a disk load is exactly the absence of
+    /// that.
+    #[test]
+    fn adopt_fills_without_counting_a_compute() {
+        let cache = StageCache::isolated();
+        cache.adopt_attacks(4, 5, Arc::new(AttackColumns::new()));
+        assert!(cache.get_attacks(4, 5).is_some());
+        let stats = cache.stats(Stage::Attacks);
+        assert_eq!(stats.computed, 0, "adopt must not count as a compute");
+        assert_eq!(stats.hit, 1, "the lookup after adopt is a hit");
+        cache.adopt_plan(4, 6, Arc::new(InternetPlan::build(
+            &netmodel::NetScale::tiny(),
+            &mut simcore::rng::SimRng::new(1),
+        )));
+        assert!(cache.get_plan(4, 6).is_some());
+        assert_eq!(cache.stats(Stage::Plan).computed, 0);
+        // bound 0 bypasses adoption like every other cache path.
+        cache.adopt_attacks(0, 7, Arc::new(AttackColumns::new()));
+        assert!(cache.get_attacks(4, 7).is_none());
     }
 
     /// Concurrent same-key misses coalesce onto one compute.

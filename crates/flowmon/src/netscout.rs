@@ -278,6 +278,60 @@ impl AlertColumns {
             + self.class.len() * std::mem::size_of::<AttackClass>()
             + self.severity.len() * std::mem::size_of::<Severity>()
     }
+
+    /// Encode to the stage-store wire format (DESIGN.md §11):
+    /// observation columns followed by one-byte class and severity
+    /// lanes. Deterministic bytes for identical streams.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = netmodel::wire::Writer::with_capacity(self.len() * 26 + 48);
+        w.bytes(&self.obs.to_wire_bytes());
+        w.u64(self.class.len() as u64);
+        for &c in &self.class {
+            w.u8(attackgen::wire::class_tag(c));
+        }
+        w.u64(self.severity.len() as u64);
+        for &s in &self.severity {
+            w.u8(match s {
+                Severity::Low => 0,
+                Severity::Medium => 1,
+                Severity::High => 2,
+            });
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a wire payload; `Err` (never a panic) on truncated,
+    /// corrupt, or row-count-inconsistent input.
+    pub fn from_wire_bytes(bytes: &[u8]) -> netmodel::wire::WireResult<AlertColumns> {
+        let mut r = netmodel::wire::Reader::new(bytes);
+        let obs_len = r.count(1)?;
+        let obs = ObservationColumns::from_wire_bytes(r.raw(obs_len)?)?;
+        let n = r.count(1)?;
+        let mut class = Vec::with_capacity(n);
+        for _ in 0..n {
+            class.push(attackgen::wire::class_from_tag(r.u8()?)?);
+        }
+        let n = r.count(1)?;
+        let mut severity = Vec::with_capacity(n);
+        for _ in 0..n {
+            severity.push(match r.u8()? {
+                0 => Severity::Low,
+                1 => Severity::Medium,
+                2 => Severity::High,
+                t => return Err(format!("unknown Severity tag {t}")),
+            });
+        }
+        r.finish()?;
+        if class.len() != obs.len() || severity.len() != obs.len() {
+            return Err(format!(
+                "alert lanes disagree: {} observations, {} classes, {} severities",
+                obs.len(),
+                class.len(),
+                severity.len()
+            ));
+        }
+        Ok(AlertColumns { obs, class, severity })
+    }
 }
 
 /// Split alerts into the two published series (RA and DP observations).
@@ -350,6 +404,34 @@ mod tests {
     fn plan() -> InternetPlan {
         let mut rng = SimRng::new(100);
         InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn alert_columns_wire_round_trip() {
+        let plan = plan();
+        let root = SimRng::new(41);
+        let netscout = Netscout::with_defaults(&plan);
+        let mut cols = AlertColumns::new();
+        for id in 0..400u64 {
+            let a = attack(&plan, id, 50_000.0 + id as f64, AttackClass::DirectPathSpoofed);
+            if let Some((class, severity)) = netscout.observe_view(a.view(), &root) {
+                cols.push(a.view(), class, severity);
+            }
+        }
+        assert!(!cols.is_empty(), "sample stream must produce alerts");
+        let bytes = cols.to_wire_bytes();
+        let back = AlertColumns::from_wire_bytes(&bytes).expect("decode");
+        assert_eq!(back, cols);
+        assert_eq!(back.to_wire_bytes(), bytes);
+        // Truncations and flips reject or decode, never panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            let _ = AlertColumns::from_wire_bytes(&bytes[..cut]);
+        }
+        for i in (0..bytes.len()).step_by(13) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let _ = AlertColumns::from_wire_bytes(&bad);
+        }
     }
 
     fn attack(plan: &InternetPlan, id: u64, pps: f64, class: AttackClass) -> Attack {

@@ -11,6 +11,7 @@ pub mod ip;
 pub mod plan;
 pub mod trie;
 pub mod vectors;
+pub mod wire;
 
 pub use asdb::{AsKind, AsRecord, AsRegistry, Asn, KNOWN_ASES};
 pub use ip::{Ipv4, ParseError, Prefix};

@@ -1,0 +1,697 @@
+//! Compact hand-rolled binary encoding for stage outputs (DESIGN.md
+//! §11).
+//!
+//! The persistent stage store serializes whole stage outputs —
+//! [`InternetPlan`] here, the columnar attack/observation streams in
+//! `attackgen` — to disk cells. JSON is 10–20× larger and dominated by
+//! float formatting; the wire format instead writes fixed-width
+//! little-endian scalars with `u64` length prefixes for sequences, so
+//! encoding is a column `memcpy` and decoding never allocates more
+//! than the final structures.
+//!
+//! **Determinism contract:** encoding is a pure function of the value.
+//! The two `HashSet<Asn>` coverage scopes are serialized *sorted* so
+//! the same plan always produces the same bytes (the store's checksum
+//! and any byte-level comparison rely on this); product code only
+//! membership-tests those sets, so the rebuilt iteration order is
+//! irrelevant.
+//!
+//! Decoding is fail-safe, never panicking on truncated or corrupt
+//! input: every read is bounds-checked and returns `Err(String)`. The
+//! disk store additionally guards payloads with an FNV-1a checksum, so
+//! decode errors indicate a version/logic mismatch rather than media
+//! corruption — both are rejected upstream the same way.
+
+use crate::asdb::{AsKind, AsRecord, AsRegistry, Asn};
+use crate::ip::{Ipv4, Prefix};
+use crate::plan::{Allocation, HoneypotPlan, InternetPlan, Rir, TelescopePlan};
+use crate::trie::PrefixTable;
+use crate::vectors::AmpVector;
+use std::collections::{BTreeMap, HashSet};
+
+/// Byte sink for the wire format: fixed-width little-endian scalars,
+/// `u64` length prefixes.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub fn with_capacity(bytes: usize) -> Writer {
+        Writer { buf: Vec::with_capacity(bytes) }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Writer {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Writer {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Writer {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Writer {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Bit-exact float transport (`to_bits`), so a decoded value is
+    /// byte-identical to the encoded one even for non-canonical NaNs.
+    pub fn f64(&mut self, v: f64) -> &mut Writer {
+        self.u64(v.to_bits())
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Writer {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    pub fn str(&mut self, v: &str) -> &mut Writer {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Bounds-checked cursor over an encoded payload. Every read returns
+/// `Err` on truncation instead of panicking.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Wire decode errors are plain strings: the store logs and rejects,
+/// nothing programmatic branches on the variant.
+pub type WireResult<T> = std::result::Result<T, String>;
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                format!("truncated: need {n} bytes at offset {}, have {}", self.pos, self.buf.len())
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A borrowed run of exactly `n` raw bytes (for nested payloads).
+    pub fn raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    pub fn u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn i64(&mut self) -> WireResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix that is also plausibly a sequence count: bounded
+    /// by the bytes remaining, so corrupt counts fail fast instead of
+    /// attempting absurd allocations.
+    pub fn count(&mut self, min_item_bytes: usize) -> WireResult<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        let fits = min_item_bytes == 0
+            || n.checked_mul(min_item_bytes as u64).is_some_and(|need| need <= remaining);
+        if !fits {
+            return Err(format!("implausible count {n} with {remaining} bytes remaining"));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn str(&mut self) -> WireResult<String> {
+        let n = self.count(1)?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "invalid UTF-8 string".to_string())
+    }
+
+    /// Everything consumed?
+    pub fn finish(&self) -> WireResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after decode", self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared primitive codecs.
+// ---------------------------------------------------------------------
+
+pub fn put_prefix(w: &mut Writer, p: Prefix) {
+    w.u32(p.base().0).u8(p.len());
+}
+
+pub fn get_prefix(r: &mut Reader<'_>) -> WireResult<Prefix> {
+    let base = r.u32()?;
+    let len = r.u8()?;
+    if len > 32 {
+        return Err(format!("prefix length {len} > 32"));
+    }
+    Ok(Prefix::new(Ipv4(base), len))
+}
+
+pub fn put_prefixes(w: &mut Writer, ps: &[Prefix]) {
+    w.u64(ps.len() as u64);
+    for p in ps {
+        put_prefix(w, *p);
+    }
+}
+
+pub fn get_prefixes(r: &mut Reader<'_>) -> WireResult<Vec<Prefix>> {
+    let n = r.count(5)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_prefix(r)?);
+    }
+    Ok(out)
+}
+
+pub fn put_ips(w: &mut Writer, ips: &[Ipv4]) {
+    w.u64(ips.len() as u64);
+    for ip in ips {
+        w.u32(ip.0);
+    }
+}
+
+pub fn get_ips(r: &mut Reader<'_>) -> WireResult<Vec<Ipv4>> {
+    let n = r.count(4)?;
+    let bytes = r.raw(n * 4)?;
+    Ok(bytes.chunks_exact(4).map(|c| Ipv4(u32::from_le_bytes(c.try_into().expect("4-byte chunk")))).collect())
+}
+
+// ---------------------------------------------------------------------
+// Bulk column codecs: a length-prefixed run of fixed-width scalars,
+// decoded with ONE bounds check for the whole column instead of one per
+// element. Byte layout is identical to writing each scalar in a loop,
+// so columns encoded either way round-trip through either path. These
+// are the hot path for the columnar stage cells — a full attack
+// population is hundreds of thousands of scalars.
+// ---------------------------------------------------------------------
+
+pub fn put_u32s(w: &mut Writer, col: &[u32]) {
+    w.u64(col.len() as u64);
+    for &v in col {
+        w.u32(v);
+    }
+}
+
+pub fn get_u32s(r: &mut Reader<'_>) -> WireResult<Vec<u32>> {
+    let n = r.count(4)?;
+    let bytes = r.raw(n * 4)?;
+    Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk"))).collect())
+}
+
+pub fn put_u64s(w: &mut Writer, col: &[u64]) {
+    w.u64(col.len() as u64);
+    for &v in col {
+        w.u64(v);
+    }
+}
+
+pub fn get_u64s(r: &mut Reader<'_>) -> WireResult<Vec<u64>> {
+    let n = r.count(8)?;
+    let bytes = r.raw(n * 8)?;
+    Ok(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))).collect())
+}
+
+pub fn put_i64s(w: &mut Writer, col: &[i64]) {
+    w.u64(col.len() as u64);
+    for &v in col {
+        w.i64(v);
+    }
+}
+
+pub fn get_i64s(r: &mut Reader<'_>) -> WireResult<Vec<i64>> {
+    let n = r.count(8)?;
+    let bytes = r.raw(n * 8)?;
+    Ok(bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk"))).collect())
+}
+
+/// Bit-exact float columns (`to_bits` transport, like [`Writer::f64`]).
+pub fn put_f64s(w: &mut Writer, col: &[f64]) {
+    w.u64(col.len() as u64);
+    for &v in col {
+        w.f64(v);
+    }
+}
+
+pub fn get_f64s(r: &mut Reader<'_>) -> WireResult<Vec<f64>> {
+    let n = r.count(8)?;
+    let bytes = r.raw(n * 8)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+        .collect())
+}
+
+/// Stable index of an amplification vector, by [`AmpVector::ALL`]
+/// position. Appending vectors keeps old cells decodable; reordering
+/// requires a cell-format version bump.
+pub fn amp_tag(v: AmpVector) -> u8 {
+    AmpVector::ALL
+        .iter()
+        .position(|&x| x == v)
+        .expect("AmpVector::ALL lists every variant") as u8
+}
+
+pub fn amp_from_tag(tag: u8) -> WireResult<AmpVector> {
+    AmpVector::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown AmpVector tag {tag}"))
+}
+
+fn rir_tag(r: Rir) -> u8 {
+    match r {
+        Rir::Arin => 0,
+        Rir::RipeNcc => 1,
+        Rir::Apnic => 2,
+        Rir::Lacnic => 3,
+        Rir::Afrinic => 4,
+    }
+}
+
+fn rir_from_tag(tag: u8) -> WireResult<Rir> {
+    Ok(match tag {
+        0 => Rir::Arin,
+        1 => Rir::RipeNcc,
+        2 => Rir::Apnic,
+        3 => Rir::Lacnic,
+        4 => Rir::Afrinic,
+        _ => return Err(format!("unknown Rir tag {tag}")),
+    })
+}
+
+fn kind_tag(k: AsKind) -> u8 {
+    match k {
+        AsKind::Hoster => 0,
+        AsKind::Isp => 1,
+        AsKind::Business => 2,
+        AsKind::Cdn => 3,
+        AsKind::Research => 4,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> WireResult<AsKind> {
+    Ok(match tag {
+        0 => AsKind::Hoster,
+        1 => AsKind::Isp,
+        2 => AsKind::Business,
+        3 => AsKind::Cdn,
+        4 => AsKind::Research,
+        _ => return Err(format!("unknown AsKind tag {tag}")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// InternetPlan codec.
+// ---------------------------------------------------------------------
+
+fn put_table<T>(w: &mut Writer, table: &PrefixTable<T>, put: impl Fn(&mut Writer, &T)) {
+    let entries: Vec<(Prefix, &T)> = table.iter().collect();
+    w.u64(entries.len() as u64);
+    for (p, v) in entries {
+        put_prefix(w, p);
+        put(w, v);
+    }
+}
+
+fn get_table<T>(
+    r: &mut Reader<'_>,
+    min_item_bytes: usize,
+    get: impl Fn(&mut Reader<'_>) -> WireResult<T>,
+) -> WireResult<PrefixTable<T>> {
+    let n = r.count(5 + min_item_bytes)?;
+    let mut table = PrefixTable::new();
+    for _ in 0..n {
+        let p = get_prefix(r)?;
+        let v = get(r)?;
+        table.insert(p, v);
+    }
+    Ok(table)
+}
+
+fn put_telescope(w: &mut Writer, t: &TelescopePlan) {
+    w.str(&t.name).u32(t.asn.0);
+    put_prefixes(w, &t.prefixes);
+}
+
+fn get_telescope(r: &mut Reader<'_>) -> WireResult<TelescopePlan> {
+    Ok(TelescopePlan {
+        name: r.str()?,
+        asn: Asn(r.u32()?),
+        prefixes: get_prefixes(r)?,
+    })
+}
+
+/// A `HashSet<Asn>` as a *sorted* ASN list: deterministic bytes for
+/// identical sets regardless of hash iteration order.
+fn put_asn_set(w: &mut Writer, set: &HashSet<Asn>) {
+    let mut asns: Vec<u32> = set.iter().map(|a| a.0).collect();
+    asns.sort_unstable();
+    w.u64(asns.len() as u64);
+    for a in asns {
+        w.u32(a);
+    }
+}
+
+fn get_asn_set(r: &mut Reader<'_>) -> WireResult<HashSet<Asn>> {
+    let n = r.count(4)?;
+    let mut set = HashSet::with_capacity(n);
+    for _ in 0..n {
+        set.insert(Asn(r.u32()?));
+    }
+    Ok(set)
+}
+
+impl InternetPlan {
+    /// Encode to the wire format. Deterministic: the same plan always
+    /// produces the same bytes.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(1 << 16);
+
+        // Registry in insertion order; `add` rebuilds the ASN index.
+        w.u64(self.registry.len() as u64);
+        for rec in self.registry.iter() {
+            w.u32(rec.asn.0);
+            w.str(&rec.name);
+            w.u8(kind_tag(rec.kind));
+            put_prefixes(&mut w, &rec.prefixes);
+            w.f64(rec.target_weight);
+        }
+
+        put_table(&mut w, &self.routed, |w, asn| {
+            w.u32(asn.0);
+        });
+        put_table(&mut w, &self.allocations, |w, a| {
+            w.u8(rir_tag(a.rir)).u32(a.asn.0);
+            put_prefix(w, a.block);
+        });
+
+        put_telescope(&mut w, &self.ucsd);
+        put_telescope(&mut w, &self.orion);
+
+        put_ips(&mut w, &self.honeypots.amppot_allocated);
+        w.u64(self.honeypots.amppot_responsive as u64);
+        put_ips(&mut w, &self.honeypots.hopscotch);
+        put_ips(&mut w, &self.honeypots.newkid);
+
+        put_table(&mut w, &self.akamai_protected, |_, ()| {});
+        put_prefixes(&mut w, &self.akamai_prefix_list);
+        put_table(&mut w, &self.akamai_announced, |_, ()| {});
+        put_prefixes(&mut w, &self.akamai_announced_list);
+
+        put_asn_set(&mut w, &self.netscout_customers);
+        put_asn_set(&mut w, &self.ixp_members);
+
+        w.u64(self.reflector_pools.len() as u64);
+        for (v, n) in &self.reflector_pools {
+            w.u8(amp_tag(*v)).u64(*n);
+        }
+
+        w.into_bytes()
+    }
+
+    /// Decode a wire payload. Fails (never panics) on truncated or
+    /// structurally invalid input.
+    pub fn from_wire_bytes(bytes: &[u8]) -> WireResult<InternetPlan> {
+        let mut r = Reader::new(bytes);
+
+        let n_records = r.count(18)?;
+        let mut registry = AsRegistry::new();
+        for _ in 0..n_records {
+            let asn = Asn(r.u32()?);
+            if registry.get(asn).is_some() {
+                return Err(format!("duplicate {asn} in encoded registry"));
+            }
+            registry.add(AsRecord {
+                asn,
+                name: r.str()?,
+                kind: kind_from_tag(r.u8()?)?,
+                prefixes: get_prefixes(&mut r)?,
+                target_weight: r.f64()?,
+            });
+        }
+
+        let routed = get_table(&mut r, 4, |r| Ok(Asn(r.u32()?)))?;
+        let allocations = get_table(&mut r, 10, |r| {
+            Ok(Allocation {
+                rir: rir_from_tag(r.u8()?)?,
+                asn: Asn(r.u32()?),
+                block: get_prefix(r)?,
+            })
+        })?;
+
+        let ucsd = get_telescope(&mut r)?;
+        let orion = get_telescope(&mut r)?;
+
+        let honeypots = HoneypotPlan {
+            amppot_allocated: get_ips(&mut r)?,
+            amppot_responsive: r.u64()? as usize,
+            hopscotch: get_ips(&mut r)?,
+            newkid: get_ips(&mut r)?,
+        };
+
+        let akamai_protected = get_table(&mut r, 0, |_| Ok(()))?;
+        let akamai_prefix_list = get_prefixes(&mut r)?;
+        let akamai_announced = get_table(&mut r, 0, |_| Ok(()))?;
+        let akamai_announced_list = get_prefixes(&mut r)?;
+
+        let netscout_customers = get_asn_set(&mut r)?;
+        let ixp_members = get_asn_set(&mut r)?;
+
+        let n_pools = r.count(9)?;
+        let mut reflector_pools = BTreeMap::new();
+        for _ in 0..n_pools {
+            let v = amp_from_tag(r.u8()?)?;
+            reflector_pools.insert(v, r.u64()?);
+        }
+
+        r.finish()?;
+        Ok(InternetPlan {
+            registry,
+            routed,
+            allocations,
+            ucsd,
+            orion,
+            honeypots,
+            akamai_protected,
+            akamai_prefix_list,
+            akamai_announced,
+            akamai_announced_list,
+            netscout_customers,
+            ixp_members,
+            reflector_pools,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NetScale;
+    use simcore::SimRng;
+
+    fn plan() -> InternetPlan {
+        let mut rng = SimRng::new(0xC0DE);
+        InternetPlan::build(&NetScale::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xDEAD_BEEF).u64(u64::MAX).i64(-42).f64(-0.125).str("darknet");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.str().unwrap(), "darknet");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing_bytes() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes[..3]).u64().is_err());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 5);
+        assert!(r.finish().is_err(), "4 unread bytes must fail finish");
+    }
+
+    #[test]
+    fn bulk_columns_round_trip_and_match_scalar_layout() {
+        let u32col = [0u32, 1, u32::MAX, 0xDEAD_BEEF];
+        let u64col = [0u64, u64::MAX, 42];
+        let i64col = [i64::MIN, -1, 0, i64::MAX];
+        let f64col = [0.0f64, -0.0, f64::NAN, f64::INFINITY, -0.125];
+
+        let mut bulk = Writer::new();
+        put_u32s(&mut bulk, &u32col);
+        put_u64s(&mut bulk, &u64col);
+        put_i64s(&mut bulk, &i64col);
+        put_f64s(&mut bulk, &f64col);
+        let bytes = bulk.into_bytes();
+
+        // Same bytes as writing each scalar by hand.
+        let mut scalar = Writer::new();
+        scalar.u64(4);
+        for v in u32col {
+            scalar.u32(v);
+        }
+        scalar.u64(3);
+        for v in u64col {
+            scalar.u64(v);
+        }
+        scalar.u64(4);
+        for v in i64col {
+            scalar.i64(v);
+        }
+        scalar.u64(5);
+        for v in f64col {
+            scalar.f64(v);
+        }
+        assert_eq!(scalar.into_bytes(), bytes);
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_u32s(&mut r).unwrap(), u32col);
+        assert_eq!(get_u64s(&mut r).unwrap(), u64col);
+        assert_eq!(get_i64s(&mut r).unwrap(), i64col);
+        let floats = get_f64s(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(floats.len(), f64col.len());
+        for (a, b) in floats.iter().zip(f64col.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact float transport");
+        }
+
+        // Truncated columns fail, never panic.
+        assert!(get_u32s(&mut Reader::new(&bytes[..11])).is_err());
+    }
+
+    #[test]
+    fn implausible_counts_fail_fast() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).count(4).is_err());
+        // And via a typed decoder: a huge prefix count cannot allocate.
+        assert!(get_prefixes(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn plan_round_trips_byte_identically() {
+        let p = plan();
+        let bytes = p.to_wire_bytes();
+        let q = InternetPlan::from_wire_bytes(&bytes).expect("decode");
+
+        // Structural equality of every component the pipeline reads.
+        assert_eq!(q.registry.len(), p.registry.len());
+        for (a, b) in p.registry.iter().zip(q.registry.iter()) {
+            assert_eq!(a.asn, b.asn);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.prefixes, b.prefixes);
+            assert_eq!(a.target_weight.to_bits(), b.target_weight.to_bits());
+        }
+        let pairs = |t: &PrefixTable<Asn>| -> Vec<(Prefix, Asn)> {
+            t.iter().map(|(p, a)| (p, *a)).collect()
+        };
+        assert_eq!(pairs(&p.routed), pairs(&q.routed));
+        assert_eq!(
+            p.allocations.iter().map(|(x, a)| (x, *a)).collect::<Vec<_>>(),
+            q.allocations.iter().map(|(x, a)| (x, *a)).collect::<Vec<_>>()
+        );
+        assert_eq!(p.ucsd.prefixes, q.ucsd.prefixes);
+        assert_eq!(p.orion.name, q.orion.name);
+        assert_eq!(p.honeypots.amppot_allocated, q.honeypots.amppot_allocated);
+        assert_eq!(p.honeypots.amppot_responsive, q.honeypots.amppot_responsive);
+        assert_eq!(p.honeypots.hopscotch, q.honeypots.hopscotch);
+        assert_eq!(p.honeypots.newkid, q.honeypots.newkid);
+        assert_eq!(p.akamai_prefix_list, q.akamai_prefix_list);
+        assert_eq!(p.akamai_announced_list, q.akamai_announced_list);
+        assert_eq!(p.netscout_customers, q.netscout_customers);
+        assert_eq!(p.ixp_members, q.ixp_members);
+        assert_eq!(p.reflector_pools, q.reflector_pools);
+
+        // THE store invariant: re-encoding the decoded plan reproduces
+        // the exact bytes (deterministic encoding, sorted sets).
+        assert_eq!(q.to_wire_bytes(), bytes);
+    }
+
+    #[test]
+    fn plan_decode_never_panics_on_corruption() {
+        let p = plan();
+        let bytes = p.to_wire_bytes();
+        // Truncations at a spread of boundaries.
+        for cut in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+            let _ = InternetPlan::from_wire_bytes(&bytes[..cut]);
+        }
+        // Single-byte flips across the payload (sampled).
+        for i in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            let _ = InternetPlan::from_wire_bytes(&bad);
+        }
+    }
+
+    #[test]
+    fn enum_tags_are_exhaustive_and_stable() {
+        for (i, v) in AmpVector::ALL.iter().enumerate() {
+            assert_eq!(amp_tag(*v) as usize, i);
+            assert_eq!(amp_from_tag(i as u8).unwrap(), *v);
+        }
+        assert!(amp_from_tag(AmpVector::ALL.len() as u8).is_err());
+        for r in [Rir::Arin, Rir::RipeNcc, Rir::Apnic, Rir::Lacnic, Rir::Afrinic] {
+            assert_eq!(rir_from_tag(rir_tag(r)).unwrap(), r);
+        }
+        for k in [AsKind::Hoster, AsKind::Isp, AsKind::Business, AsKind::Cdn, AsKind::Research] {
+            assert_eq!(kind_from_tag(kind_tag(k)).unwrap(), k);
+        }
+    }
+}

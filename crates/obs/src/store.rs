@@ -66,13 +66,21 @@ impl RunStore {
     }
 
     /// Next store-wide sequence number: one past the highest on disk.
+    /// Only conforming stems steer it — a stray `backup-99.json` in
+    /// the directory is warned about and skipped, not treated as run
+    /// ninety-nine.
     fn next_seq(&self) -> u64 {
-        self.stems()
-            .iter()
-            .filter_map(|stem| parse_seq(stem))
-            .max()
-            .map(|s| s.saturating_add(1))
-            .unwrap_or(1)
+        let mut max = 0u64;
+        for stem in self.stems() {
+            match parse_seq(&stem) {
+                Some(seq) => max = max.max(seq),
+                None => crate::warn!(
+                    "run store: ignoring non-conforming entry {stem}.json in {}",
+                    self.dir.display()
+                ),
+            }
+        }
+        max.saturating_add(1)
     }
 
     fn stems(&self) -> Vec<String> {
@@ -94,14 +102,47 @@ impl RunStore {
 
     /// Append `manifest` as `<config-fingerprint>-<seq>.json`,
     /// returning the written path.
+    ///
+    /// Claim-then-publish: the final name is claimed atomically with
+    /// `create_new` (two processes scanning the same highest sequence
+    /// race to *distinct* numbers instead of overwriting each other —
+    /// the loser of the claim retries one higher), the full JSON is
+    /// written to a temporary sibling, and a rename publishes it over
+    /// the claim. A reader or a crash therefore never observes a torn
+    /// manifest: the worst case is an empty claimed file, which lists
+    /// as a corrupt `Err` entry rather than silently passing for data.
     pub fn append(&self, manifest: &RunManifest) -> Result<PathBuf, String> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("run store: create {}: {e}", self.dir.display()))?;
-        let stem = format!("{:016x}-{:04}", manifest.run.config_hash, self.next_seq());
-        let path = self.dir.join(format!("{stem}.json"));
-        std::fs::write(&path, manifest.to_json())
-            .map_err(|e| format!("run store: write {}: {e}", path.display()))?;
-        Ok(path)
+        let json = manifest.to_json();
+        let mut seq = self.next_seq();
+        loop {
+            let stem = format!("{:016x}-{:04}", manifest.run.config_hash, seq);
+            let path = self.dir.join(format!("{stem}.json"));
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    seq = seq.saturating_add(1);
+                    continue;
+                }
+                Err(e) => return Err(format!("run store: claim {}: {e}", path.display())),
+            }
+            let tmp = self.dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+            let publish = std::fs::write(&tmp, &json)
+                .map_err(|e| format!("run store: write {}: {e}", tmp.display()))
+                .and_then(|()| {
+                    std::fs::rename(&tmp, &path)
+                        .map_err(|e| format!("run store: publish {}: {e}", path.display()))
+                });
+            if let Err(e) = publish {
+                // Withdraw the empty claim and the orphaned temporary
+                // so a failed append leaves no debris behind.
+                let _ = std::fs::remove_file(&path);
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+            return Ok(path);
+        }
     }
 
     /// Every entry in the store, ordered by sequence number (ties and
@@ -174,9 +215,20 @@ impl RunStore {
     }
 }
 
-/// Parse the `-<seq>` suffix of a store stem.
+/// Parse the sequence number out of a conforming store stem:
+/// exactly `<16 hex digits>-<decimal seq>`. Anything else — a stray
+/// `backup-99`, a 15-digit hash, a non-numeric suffix — is `None`, so
+/// foreign files in the store directory can never steer the sequence
+/// or masquerade as runs.
 fn parse_seq(stem: &str) -> Option<u64> {
-    stem.rsplit_once('-').and_then(|(_, seq)| seq.parse().ok())
+    let (hash, seq) = stem.split_once('-')?;
+    if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    seq.parse().ok()
 }
 
 // ---------------------------------------------------------------------
@@ -529,6 +581,97 @@ mod tests {
         // Sequence numbering keeps advancing past the corrupt file.
         let p3 = store.append(&manifest(1, &[], &[])).expect("append 3");
         assert!(p3.to_str().expect("utf8").ends_with("-0003.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_seq_requires_the_full_stem_shape() {
+        assert_eq!(parse_seq("000000000000abcd-0001"), Some(1));
+        assert_eq!(parse_seq("ABCDEF0123456789-12"), Some(12));
+        // Regression: any trailing `-<digits>` used to parse, so a
+        // stray `backup-notes-99.json` steered the sequence to 100.
+        assert_eq!(parse_seq("backup-notes-99"), None);
+        assert_eq!(parse_seq("notes-123"), None);
+        assert_eq!(parse_seq("000000000000abcd"), None);
+        assert_eq!(parse_seq("000000000000abcd-"), None);
+        assert_eq!(parse_seq("000000000000abcd-12a"), None);
+        assert_eq!(parse_seq("00000000000abcd-1"), None);
+        assert_eq!(parse_seq("000000000000abcdf-1"), None);
+        assert_eq!(parse_seq("-5"), None);
+        assert_eq!(parse_seq(""), None);
+    }
+
+    #[test]
+    fn stray_files_do_not_steer_the_sequence() {
+        let dir = scratch_dir("stray");
+        let store = RunStore::new(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("backup-99.json"), "{}").expect("stray file");
+        let p = store.append(&manifest(1, &[], &[])).expect("append");
+        assert!(
+            p.to_str().expect("utf8").ends_with("-0001.json"),
+            "sequence must start at 1, not past the stray file's 99: {p:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two-process append race: each process scans the same highest
+    /// sequence, but `create_new` claims make the loser retry one
+    /// higher — every append lands under a distinct name and no
+    /// manifest is overwritten or torn. (Regression for the bare
+    /// `fs::write` + read-then-write sequence scan this store shipped
+    /// with.)
+    #[test]
+    fn concurrent_appends_from_two_processes_get_distinct_names() {
+        const DIR_VAR: &str = "DDOSCOVERY_STORE_RACE_DIR";
+        const APPENDS_PER_PROCESS: usize = 8;
+        // Helper branch: with the env var set, this test *is* a child
+        // process — append and exit.
+        if let Ok(dir) = std::env::var(DIR_VAR) {
+            let store = RunStore::new(dir);
+            for _ in 0..APPENDS_PER_PROCESS {
+                store.append(&manifest(2, &[("child", 1)], &[])).expect("child append");
+            }
+            return;
+        }
+        let dir = scratch_dir("race");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let exe = std::env::current_exe().expect("test binary path");
+        let mut children: Vec<std::process::Child> = (0..2)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .arg("store::tests::concurrent_appends_from_two_processes_get_distinct_names")
+                    .arg("--exact")
+                    .env(DIR_VAR, dir.as_os_str())
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn child test process")
+            })
+            .collect();
+        // The parent races its own appends against both children.
+        let store = RunStore::new(&dir);
+        for _ in 0..APPENDS_PER_PROCESS {
+            store.append(&manifest(1, &[("parent", 1)], &[])).expect("parent append");
+        }
+        for child in &mut children {
+            assert!(child.wait().expect("child exit").success(), "child process failed");
+        }
+        let entries = store.entries();
+        let expected = 3 * APPENDS_PER_PROCESS;
+        assert_eq!(entries.len(), expected, "every append must land in its own file");
+        let mut seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), expected, "no two appends may share a sequence number");
+        for entry in &entries {
+            assert!(
+                entry.manifest.is_ok(),
+                "{} must be a complete manifest, got {:?}",
+                entry.stem,
+                entry.manifest
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

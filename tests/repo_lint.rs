@@ -1,5 +1,5 @@
 //! Source lint wired into the test suite (mirrors `tools/lint.sh`),
-//! six rules:
+//! seven rules:
 //!
 //! 1. No wall-clock or OS-entropy primitives anywhere in simulation
 //!    code: every stochastic draw must fork from the study seed and
@@ -29,6 +29,12 @@
 //!    (DESIGN.md §10): one exporter owns the event schema. Consumers
 //!    outside library sources (tests, `examples/trace_check.rs`) may
 //!    parse the format freely.
+//! 7. Stage-cell IO (the cell magic constant and the default store
+//!    directory) is confined to `crates/core/src/diskstore.rs`, the
+//!    persistent stage store (DESIGN.md §11): one module owns the
+//!    checksummed wire layout, so every load is integrity-checked and
+//!    every reject is counted. The CLI binary may name the default
+//!    directory in its usage text; tests and benches may poke cells.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -168,6 +174,22 @@ fn repo_lint_rules_hold() {
             allow: |rel| {
                 !(rel.starts_with("src/") || rel.contains("/src/"))
                     || rel == "crates/obs/src/trace.rs"
+            },
+            library_lines_only: false,
+        },
+        Rule {
+            name: "stage-cell IO outside the disk store module",
+            patterns: vec![
+                ["CELL_", "MAGIC"].concat(),
+                [".ddoscovery", "/store"].concat(),
+            ],
+            dirs: &["crates", "src"],
+            // Same library scope as the print rule; the CLI binary only
+            // names the default directory in its usage text.
+            allow: |rel| {
+                !(rel.starts_with("src/") || rel.contains("/src/"))
+                    || rel == "crates/core/src/diskstore.rs"
+                    || rel.starts_with("crates/core/src/bin/")
             },
             library_lines_only: false,
         },

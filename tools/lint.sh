@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo lint, six rules (mirrored by tests/repo_lint.rs):
+# Repo lint, seven rules (mirrored by tests/repo_lint.rs):
 #
 # 1. No wall-clock or OS-entropy primitives in simulation code. The
 #    reproducibility contract (DESIGN.md §4) requires every stochastic
@@ -40,6 +40,13 @@
 #    the side-channel invariant tests that validate the one exporter.
 #    Consumers (tests, examples like trace_check) may parse the format;
 #    library code outside the recorder may not produce it.
+# 7. Stage-cell IO (`CELL_MAGIC`, the `.ddoscovery/store` default) lives
+#    only in `crates/core/src/diskstore.rs`, the persistent stage store
+#    (DESIGN.md §11). One module owns the cell format and its
+#    checksummed header; a second reader/writer would fork the wire
+#    layout and dodge the integrity counters. The CLI binary may name
+#    the default directory in its usage text; tests and benches may
+#    poke cells to corrupt them.
 #
 # Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
@@ -96,7 +103,16 @@ if grep -rnE 'traceEvents' crates src --include='*.rs' 2>/dev/null \
     fail=1
 fi
 
+if grep -rnE 'CELL_MAGIC|\.ddoscovery/store' crates src --include='*.rs' 2>/dev/null \
+    | grep -E '(^|/)src/' \
+    | grep -vE '^crates/core/src/diskstore\.rs:' \
+    | grep -vE '^crates/core/src/bin/' \
+    | grep . ; then
+    echo "lint: stage-cell IO outside crates/core/src/diskstore.rs (one store module only)" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement, trace-export confinement)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement, trace-export confinement, stage-store confinement)"
