@@ -1,4 +1,4 @@
-.PHONY: build test lint bench bench-json check telemetry chaos scale trace regress store
+.PHONY: build test lint bench bench-json check telemetry chaos scale trace regress store serve
 
 build:
 	cargo build --release
@@ -15,15 +15,16 @@ bench:
 	cargo bench --workspace
 
 # Bench trajectory: the JSON-emitting benches write
-# BENCH_pipeline.json, BENCH_sweep.json, BENCH_population.json, and
-# BENCH_store.json at the repo root as run manifests (seed, config
-# fingerprint, metrics) so `ddoscovery runs diff` can compare any two
-# of them across commits.
+# BENCH_pipeline.json, BENCH_sweep.json, BENCH_population.json,
+# BENCH_store.json, and BENCH_http.json at the repo root as run
+# manifests (seed, config fingerprint, metrics) so `ddoscovery runs
+# diff` can compare any two of them across commits.
 bench-json:
 	cargo bench -p ddoscovery-bench --bench pipeline
 	cargo bench -p ddoscovery-bench --bench sweep
 	cargo bench -p ddoscovery-bench --bench population
 	cargo bench -p ddoscovery-bench --bench store
+	cargo bench -p ddoscovery-bench --bench http
 
 # Perf regression gate: diff each fresh BENCH file against the stored
 # baseline under .ddoscovery/bench/ with a generous wall-clock gate,
@@ -87,6 +88,15 @@ store:
 		store gc --max-bytes 0 --store /tmp/ddoscovery-store-smoke/cells
 	@rm -rf /tmp/ddoscovery-store-smoke
 	@echo "store: ok (cross-process warm hits, byte-identical stdout, gc)"
+
+# Query-service smoke (DESIGN.md §12): the end-to-end suite boots real
+# `ddoscovery serve` children, proves served bytes identical to CLI
+# stdout, sheds a burst past a parked pool, survives chaos-injected
+# handler panics, and drains cleanly inside the deadline.
+serve:
+	cargo test -q --release -p ddoscovery --test http_service
+	cargo test -q --release -p ddoscovery-serve
+	@echo "serve: ok (byte-identical payloads, shedding, chaos 500s, drain)"
 
 # Fault-injection suite under several pool widths: the chaos tests
 # assert byte-identical output across worker counts internally, and

@@ -1,0 +1,192 @@
+//! Query-service benchmark (DESIGN.md §12): boots the study service
+//! cold (no disk store) and warm (primed store), measures request
+//! throughput against each over real sockets, then measures the shed
+//! rate when offered load is twice the admission capacity. Writes
+//! `BENCH_http.json` at the workspace root (diffable via `ddoscovery
+//! runs diff`).
+//!
+//! Plain `main` (harness = false): the phases need exclusive control
+//! over the process-global stage cache and `http.*` counters.
+
+use ddoscovery::stagecache::StageCache;
+use ddoscovery::{StudyConfig, StudyRun, StudyService};
+use ddoscovery_bench::{bench_manifest, write_bench_manifest};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const CLIENT_THREADS: usize = 4;
+const REQUESTS_PER_THREAD: usize = 64;
+const SHED_ROUNDS: usize = 3;
+
+fn base(disk_store: Option<String>) -> StudyConfig {
+    let mut cfg = StudyConfig::quick();
+    cfg.seed = 0x5E7_E5EED;
+    cfg.gen.random_campaign_count = 0;
+    cfg.gen.campaign_rate_scale = 0.0;
+    cfg.missing_data = false;
+    cfg.stage_cache = Some(512);
+    cfg.disk_store = disk_store.or_else(|| Some("off".into()));
+    cfg
+}
+
+/// One request per connection, the way the service works. Returns the
+/// raw response (empty if the peer never answered).
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send request");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn bind(service: Arc<StudyService>, workers: usize, queue_depth: usize) -> serve::Server {
+    let server = serve::Server::bind(
+        serve::ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_depth,
+            read_timeout_ms: 400,
+            ..serve::ServeConfig::default()
+        },
+        service.clone(),
+    )
+    .expect("bind bench server");
+    service.attach_shutdown(server.shutdown_handle());
+    server
+}
+
+/// Boot the study (timed), then drive `CLIENT_THREADS *
+/// REQUESTS_PER_THREAD` requests through a served instance (timed).
+/// Returns (boot_ns, serve_ns, requests).
+fn boot_and_drive(cfg: &StudyConfig) -> (u64, u64, u64) {
+    StageCache::global().clear();
+    let boot = obs::Stopwatch::start();
+    let run = StudyRun::execute(cfg);
+    let boot_ns = boot.elapsed_ns();
+
+    let service = Arc::new(StudyService::new(run, cfg, "bench"));
+    let server = bind(service, 4, 64);
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = thread::spawn(move || server.run());
+
+    let watch = obs::Stopwatch::start();
+    let clients: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let raw = if (t + i) % 2 == 0 {
+                        roundtrip(addr, b"GET /v1/trends HTTP/1.1\r\n\r\n")
+                    } else {
+                        roundtrip(addr, b"GET /v1/series/hopscotch HTTP/1.1\r\n\r\n")
+                    };
+                    assert!(raw.starts_with("HTTP/1.1 200 "), "bench request failed");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("bench client");
+    }
+    let serve_ns = watch.elapsed_ns();
+    shutdown.shutdown();
+    assert!(join.join().expect("server thread").drained);
+    (boot_ns, serve_ns, (CLIENT_THREADS * REQUESTS_PER_THREAD) as u64)
+}
+
+/// Park the whole pool (workers + queue) behind stalled request heads,
+/// then offer a burst of twice that capacity; the overflow must shed.
+/// Returns (shed, offered) summed over `SHED_ROUNDS`.
+fn shed_at_twice_capacity(cfg: &StudyConfig) -> (u64, u64) {
+    let run = StudyRun::execute(cfg);
+    let service = Arc::new(StudyService::new(run, cfg, "bench"));
+    let (workers, queue_depth) = (2, 2);
+    let capacity = workers + queue_depth;
+    let server = bind(service, workers, queue_depth);
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = thread::spawn(move || server.run());
+
+    let (mut shed, mut offered) = (0u64, 0u64);
+    for _ in 0..SHED_ROUNDS {
+        let stalled: Vec<TcpStream> = (0..capacity)
+            .map(|_| {
+                let mut stream = TcpStream::connect(addr).expect("connect staller");
+                stream.write_all(b"GET /stall HT").expect("partial head");
+                stream
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50)); // let workers park
+        let burst: Vec<_> = (0..2 * capacity)
+            .map(|_| thread::spawn(move || roundtrip(addr, b"GET /healthz HTTP/1.1\r\n\r\n")))
+            .collect();
+        for client in burst {
+            let raw = client.join().expect("burst client");
+            offered += 1;
+            if raw.starts_with("HTTP/1.1 503 ") {
+                shed += 1;
+            }
+        }
+        drop(stalled);
+        thread::sleep(Duration::from_millis(100)); // stalled heads time out
+    }
+    shutdown.shutdown();
+    assert!(join.join().expect("server thread").drained);
+    (shed, offered)
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("ddoscovery-bench-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold: no disk store — the boot recomputes the study.
+    let cold_cfg = base(None);
+    let (cold_boot_ns, cold_serve_ns, requests) = boot_and_drive(&cold_cfg);
+
+    // Warm: prime the store, then boot a fresh emulated process from
+    // checksummed cells.
+    let warm_cfg = base(Some(dir.display().to_string()));
+    {
+        StageCache::global().clear();
+        let _prime = StudyRun::execute(&warm_cfg);
+    }
+    let (warm_boot_ns, warm_serve_ns, _) = boot_and_drive(&warm_cfg);
+
+    let (shed, offered) = shed_at_twice_capacity(&warm_cfg);
+    let shed_rate = shed as f64 / offered.max(1) as f64;
+
+    let per_sec = |serve_ns: u64| requests as f64 * 1e9 / serve_ns.max(1) as f64;
+    let cold_req_s = per_sec(cold_serve_ns);
+    let warm_req_s = per_sec(warm_serve_ns);
+    let boot_speedup = cold_boot_ns as f64 / warm_boot_ns.max(1) as f64;
+
+    let manifest = bench_manifest(
+        "http",
+        &warm_cfg,
+        vec![
+            ("requests_per_phase".into(), requests),
+            ("shed_offered".into(), offered),
+            ("shed_count".into(), shed),
+            ("served_total".into(), obs::metrics::counter("http.served").get()),
+            ("shed_total".into(), obs::metrics::counter("http.shed").get()),
+        ],
+        vec![
+            ("cold_boot_ns".into(), cold_boot_ns as f64),
+            ("warm_boot_ns".into(), warm_boot_ns as f64),
+            ("warm_boot_speedup".into(), boot_speedup),
+            ("cold_reqs_per_sec".into(), cold_req_s),
+            ("warm_reqs_per_sec".into(), warm_req_s),
+            ("shed_rate_at_2x".into(), shed_rate),
+        ],
+    );
+    let path = write_bench_manifest("BENCH_http.json", &manifest);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "http: boot cold {cold_boot_ns} ns / warm {warm_boot_ns} ns ({boot_speedup:.1}x), \
+         {warm_req_s:.0} req/s warm, shed rate {shed_rate:.2} at 2x capacity -> {}",
+        path.display()
+    );
+}

@@ -23,10 +23,12 @@
 //! 2 for usage and config errors — mirroring
 //! [`ddoscovery::Error::exit_code`].
 
-use ddoscovery::{all_ids, run_experiment, ChaosPlan, Error, FaultPlan, ObsId, StudyConfig, StudyRun};
+use ddoscovery::{all_ids, run_experiment, ChaosPlan, Error, FaultPlan, StudyConfig, StudyRun};
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     obs::log::raw_stderr(
@@ -45,7 +47,11 @@ fn usage() -> ExitCode {
          \u{20}                               than PCT percent\n\
          \u{20}  store list                   list persistent stage-store cells\n\
          \u{20}  store gc --max-bytes N       shrink the stage store to at most\n\
-         \u{20}                               N bytes (oldest cells first)\n\n\
+         \u{20}                               N bytes (oldest cells first)\n\
+         \u{20}  serve [opts] [--addr A]      warm the study (through --store,\n\
+         \u{20}                               if set) and serve it over HTTP\n\
+         \u{20}                               until /admin/drain; prints the\n\
+         \u{20}                               bound address on stdout\n\n\
          options:\n\
          \u{20}  --quick            scaled-down study (~1/8 volume)\n\
          \u{20}  --seed N           master seed: decimal, or hex with an\n\
@@ -83,6 +89,9 @@ fn usage() -> ExitCode {
          \u{20}                     .ddoscovery/store; env: DDOSCOVERY_STORE;\n\
          \u{20}                     `--store off` forces it off; output is\n\
          \u{20}                     identical with or without it)\n\
+         \u{20}  --addr A           with serve: numeric listen address\n\
+         \u{20}                     IP:PORT (default 127.0.0.1:8080; port 0\n\
+         \u{20}                     picks a free port)\n\
          \u{20}  --max-bytes N      with store gc: the size to shrink to\n\
          \u{20}  --gate PCT         with runs diff: fail (exit 1) when a\n\
          \u{20}                     counter or gauge moves more than PCT%\n\n\
@@ -122,6 +131,7 @@ struct Options {
     gate: Option<f64>,
     store: Option<String>,
     max_bytes: Option<u64>,
+    addr: Option<String>,
     ids: Vec<String>,
 }
 
@@ -150,6 +160,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         gate: None,
         store: None,
         max_bytes: None,
+        addr: None,
         ids: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -204,6 +215,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     _ => ddoscovery::diskstore::DEFAULT_STORE_DIR.to_string(),
                 };
                 opts.store = Some(dir);
+            }
+            "--addr" => {
+                opts.addr = Some(it.next().ok_or("--addr needs a value")?.clone());
             }
             "--max-bytes" => {
                 let v = it.next().ok_or("--max-bytes needs a value")?;
@@ -470,17 +484,9 @@ fn cmd_trends(opts: &Options) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let project_span = obs::span!("project");
-    println!("{:16} {:>8}  type  trend", "observatory", "attacks");
-    for id in ObsId::MAIN_TEN {
-        let s = run.normalized_series(id);
-        println!(
-            "{:16} {:>8}  {:4}  {}",
-            id.name(),
-            run.observations(id).len(),
-            if id.is_direct_path() { "DP" } else { "RA" },
-            s.trend().symbol()
-        );
-    }
+    // Shared with the HTTP service's /v1/trends so the two renderings
+    // stay byte-identical (crates/core/tests/http_service.rs).
+    print!("{}", ddoscovery::render::trends_table(&run));
     drop(project_span);
     drop(run_span);
     ddoscovery::pipeline::record_peak_rss("project");
@@ -492,6 +498,75 @@ fn cmd_trends(opts: &Options) -> ExitCode {
         return fail(&e);
     }
     ExitCode::SUCCESS
+}
+
+/// Map a socket-layer error onto the workspace error taxonomy: invalid
+/// operator input (a bad `--addr`, a zero worker count) is usage-class
+/// `Error::Config` (exit 2); an OS refusal (`EADDRINUSE`, permission)
+/// is `Error::Io` (exit 1). Never a panic.
+fn serve_error(e: serve::ServeError) -> Error {
+    match e {
+        serve::ServeError::Config { field, message } => {
+            Error::config("serve", format!("{field}: {message}"))
+        }
+        serve::ServeError::Io { addr, message } => Error::Io { path: addr, message },
+    }
+}
+
+fn cmd_serve(opts: &Options) -> ExitCode {
+    let cfg = match build_config(opts) {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&e),
+    };
+    arm_trace(opts);
+    // Warm boot: with --store set, intact stages load from the
+    // persistent store (integrity-rejected cells recompute and are
+    // rewritten), so a fresh service answers its first query without
+    // redoing the study.
+    let run_span = obs::span!("run");
+    let run = match StudyRun::try_execute(&cfg) {
+        Ok(run) => run,
+        Err(e) => return fail(&e),
+    };
+    drop(run_span);
+    ddoscovery::pipeline::record_peak_rss("serve.warm");
+    let service = Arc::new(ddoscovery::StudyService::new(run, &cfg, scenario_label(opts)));
+    let serve_cfg = serve::ServeConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        ..serve::ServeConfig::default()
+    };
+    let server = match serve::Server::bind(serve_cfg, service.clone()) {
+        Ok(server) => server,
+        Err(e) => return fail(&serve_error(e)),
+    };
+    service.attach_shutdown(server.shutdown_handle());
+    // The bound address is this command's one machine-readable stdout
+    // line (it resolves a requested port 0); logs go to stderr.
+    println!("http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let report = server.run();
+    obs::info!(
+        "serve: drained={} accepted={} served={} shed={}",
+        report.drained,
+        report.accepted,
+        report.served,
+        report.shed
+    );
+    if let Err(e) = emit_telemetry(opts, &cfg) {
+        obs::error!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = export_trace(opts) {
+        return fail(&e);
+    }
+    if report.drained {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -697,6 +772,7 @@ fn main() -> ExitCode {
         "trends" => cmd_trends(&opts),
         "runs" => cmd_runs(&opts),
         "store" => cmd_store(&opts),
+        "serve" => cmd_serve(&opts),
         _ => usage(),
     }
 }

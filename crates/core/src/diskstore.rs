@@ -305,12 +305,21 @@ impl DiskStore {
         }
         let bytes = encode_cell(tag, payload);
         let tmp = parent.join(format!(".{key:016x}.tmp.{}", std::process::id()));
-        if let Err(e) = fs::write(&tmp, &bytes) {
+        // Transient faults (EINTR and friends) get a bounded retry; a
+        // persistent error still only warns and drops the write.
+        let wrote = obs::retry::with_backoff("disk-store write", 3, obs::retry::is_transient, |_| {
+            fs::write(&tmp, &bytes)
+        });
+        if let Err(e) = wrote {
             obs::warn!("disk store: writing {} failed: {e}", tmp.display());
             let _ = fs::remove_file(&tmp);
             return;
         }
-        match fs::rename(&tmp, &path) {
+        let published =
+            obs::retry::with_backoff("disk-store publish", 3, obs::retry::is_transient, |_| {
+                fs::rename(&tmp, &path)
+            });
+        match published {
             Ok(()) => self.write[idx(stage)].inc(),
             Err(e) => {
                 obs::warn!("disk store: publishing {} failed: {e}", path.display());

@@ -9,6 +9,7 @@ pub mod faults;
 pub mod pipeline;
 pub mod render;
 pub mod scenario;
+pub mod service;
 pub mod stagecache;
 pub mod sweep;
 
@@ -18,5 +19,6 @@ pub use experiments::{all_ids, run_all, run_experiment, ExperimentResult};
 pub use faults::{ChaosPlan, ChurnSpec, DegradationSpec, FaultPlan, OutageSpec};
 pub use pipeline::{ObsId, StudyRun};
 pub use scenario::StudyConfig;
+pub use service::StudyService;
 pub use stagecache::{StageCache, StageFingerprints};
 pub use sweep::{SweepOutcome, SweepReport, SweepSkip};

@@ -390,7 +390,7 @@ impl StudyRun {
                 let mut fresh = false;
                 let plan = cache.plan(bound, fp.plan, || {
                     fresh = true;
-                    crate::faults::with_chaos(chaos.as_ref(), "stage.plan", fp.plan, || {
+                    crate::faults::with_chaos(chaos.as_ref(), simcore::chaos::sites::STAGE_PLAN, fp.plan, || {
                         let _s = obs::span!("plan");
                         let mut plan_rng = root.fork_named("plan");
                         Arc::new(InternetPlan::build(&config.net, &mut plan_rng))
@@ -419,7 +419,7 @@ impl StudyRun {
                 let mut fresh = false;
                 let attacks = cache.attacks(bound, fp.attacks, || {
                     fresh = true;
-                    crate::faults::with_chaos(chaos.as_ref(), "stage.attacks", fp.attacks, || {
+                    crate::faults::with_chaos(chaos.as_ref(), simcore::chaos::sites::STAGE_ATTACKS, fp.attacks, || {
                         Arc::new(
                             AttackGenerator::new(&plan, config.gen.clone(), &root)
                                 .generate_study_on(pool),

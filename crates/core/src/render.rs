@@ -98,6 +98,26 @@ pub fn fmt_corr(c: Option<analytics::Correlation>) -> String {
     }
 }
 
+/// The `ddoscovery trends` summary table: one row per main-ten
+/// observatory with its observation count, path type, and trend
+/// symbol. Shared by the CLI subcommand and the query service's
+/// `/v1/trends` endpoint so the two stay byte-identical (asserted by
+/// `crates/core/tests/http_service.rs`).
+pub fn trends_table(run: &crate::pipeline::StudyRun) -> String {
+    let mut out = format!("{:16} {:>8}  type  trend\n", "observatory", "attacks");
+    for id in crate::pipeline::ObsId::MAIN_TEN {
+        let s = run.normalized_series(id);
+        out.push_str(&format!(
+            "{:16} {:>8}  {:4}  {}\n",
+            id.name(),
+            run.observations(id).len(),
+            if id.is_direct_path() { "DP" } else { "RA" },
+            s.trend().symbol()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

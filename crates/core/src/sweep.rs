@@ -80,7 +80,7 @@ pub fn sweep(
         if let Err(error) = cfg.validate() {
             return Err(SweepSkip { value, error });
         }
-        let run = match simcore::recover::capture("sweep.point", || {
+        let run = match simcore::recover::capture(simcore::chaos::sites::SWEEP_POINT, || {
             StudyRun::execute_on(&cfg, &pool)
         }) {
             Ok(run) => run,

@@ -27,12 +27,15 @@
 //! library crates never print directly and stdout stays reserved for
 //! machine-readable experiment output; [`trace`], the flight recorder
 //! (per-thread bounded event rings exported as Chrome trace-event
-//! JSON); and [`store`], the persistent run-history store backing
-//! `ddoscovery runs list|show|diff`.
+//! JSON); [`store`], the persistent run-history store backing
+//! `ddoscovery runs list|show|diff`; and [`retry`], bounded
+//! retry-with-backoff for transient IO (EINTR, claim-by-create races)
+//! at the filesystem and socket boundary.
 
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod retry;
 pub mod span;
 pub mod store;
 pub mod trace;

@@ -115,34 +115,48 @@ impl RunStore {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("run store: create {}: {e}", self.dir.display()))?;
         let json = manifest.to_json();
-        let mut seq = self.next_seq();
-        loop {
-            let stem = format!("{:016x}-{:04}", manifest.run.config_hash, seq);
-            let path = self.dir.join(format!("{stem}.json"));
-            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(_) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    seq = seq.saturating_add(1);
-                    continue;
-                }
-                Err(e) => return Err(format!("run store: claim {}: {e}", path.display())),
-            }
-            let tmp = self.dir.join(format!(".{stem}.tmp.{}", std::process::id()));
-            let publish = std::fs::write(&tmp, &json)
-                .map_err(|e| format!("run store: write {}: {e}", tmp.display()))
-                .and_then(|()| {
-                    std::fs::rename(&tmp, &path)
-                        .map_err(|e| format!("run store: publish {}: {e}", path.display()))
-                });
-            if let Err(e) = publish {
-                // Withdraw the empty claim and the orphaned temporary
-                // so a failed append leaves no debris behind.
-                let _ = std::fs::remove_file(&path);
-                let _ = std::fs::remove_file(&tmp);
-                return Err(e);
-            }
-            return Ok(path);
+        let base = self.next_seq();
+        // Bounded claim loop: each attempt tries one sequence number
+        // higher, so losing a race is `AlreadyExists` and retryable.
+        // The budget (64) is far past any plausible number of sibling
+        // processes scanning the same highest sequence concurrently;
+        // exhausting it means something is recreating files pathologically
+        // and deserves an error, not a spin.
+        let (stem, path) = crate::retry::with_backoff(
+            "run-store claim",
+            64,
+            |e| e.kind() == std::io::ErrorKind::AlreadyExists,
+            |attempt| {
+                let seq = base.saturating_add(u64::from(attempt));
+                let stem = format!("{:016x}-{:04}", manifest.run.config_hash, seq);
+                let path = self.dir.join(format!("{stem}.json"));
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+                    .map(|_| (stem, path))
+            },
+        )
+        .map_err(|e| format!("run store: claim in {}: {e}", self.dir.display()))?;
+        let tmp = self.dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+        let publish = crate::retry::with_backoff("run-store write", 3, crate::retry::is_transient, |_| {
+            std::fs::write(&tmp, &json)
+        })
+        .map_err(|e| format!("run store: write {}: {e}", tmp.display()))
+        .and_then(|()| {
+            crate::retry::with_backoff("run-store publish", 3, crate::retry::is_transient, |_| {
+                std::fs::rename(&tmp, &path)
+            })
+            .map_err(|e| format!("run store: publish {}: {e}", path.display()))
+        });
+        if let Err(e) = publish {
+            // Withdraw the empty claim and the orphaned temporary
+            // so a failed append leaves no debris behind.
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
+        Ok(path)
     }
 
     /// Every entry in the store, ordered by sequence number (ties and

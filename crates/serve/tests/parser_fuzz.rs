@@ -1,0 +1,165 @@
+//! Adversarial corpus for the byte-capped HTTP parser: truncated
+//! request lines, huge headers, bad methods, pipelined garbage, early
+//! disconnects, flaky readers. The contract under test is twofold —
+//! *no input panics the parser* (property-tested on arbitrary bytes
+//! via the vendored `proptest` stand-in) and *every named attack maps
+//! to its documented `ParseError` variant*, which the server turns
+//! into the right 4xx/timeout wire behavior.
+
+use proptest::prelude::*;
+use serve::http::{parse_head, read_head, read_request, ParseError};
+use std::io::Read;
+
+const CAP: usize = 8 * 1024;
+
+fn parse(bytes: &[u8]) -> Result<serve::Request, ParseError> {
+    read_request(&mut &bytes[..], CAP)
+}
+
+/// A reader that yields one byte at a time and then fails with a
+/// caller-chosen error kind — the parser must treat mid-head errors
+/// the same regardless of read granularity.
+struct FlakyReader<'a> {
+    bytes: &'a [u8],
+    fail_kind: Option<std::io::ErrorKind>,
+}
+
+impl Read for FlakyReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.bytes.split_first() {
+            Some((first, rest)) => {
+                buf[0] = *first;
+                self.bytes = rest;
+                Ok(1)
+            }
+            None => match self.fail_kind {
+                Some(kind) => Err(std::io::Error::new(kind, "injected")),
+                None => Ok(0),
+            },
+        }
+    }
+}
+
+#[test]
+fn corpus_truncated_request_lines() {
+    let full = b"GET /v1/trends HTTP/1.1\r\nHost: x\r\n\r\n";
+    for cut in 0..full.len() - 4 {
+        let result = parse(&full[..cut]);
+        assert!(
+            matches!(result, Err(ParseError::Disconnect) | Err(ParseError::Malformed(_))),
+            "cut at {cut}: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_bad_methods_and_protocols() {
+    for bad in [
+        &b"get / HTTP/1.1\r\n\r\n"[..],
+        b"G E T / HTTP/1.1\r\n\r\n",
+        b"GETGETGETGETGETGETGET / HTTP/1.1\r\n\r\n",
+        b"DELETE\t/ HTTP/1.1\r\n\r\n",
+        b"GET / FTP/1.1\r\n\r\n",
+        b"GET / HTTP/2\r\n\r\n",
+        b"\r\nGET / HTTP/1.1\r\n\r\n",
+        b"\xff\xfe / HTTP/1.1\r\n\r\n",
+    ] {
+        assert!(
+            matches!(parse(bad), Err(ParseError::Malformed(_))),
+            "{:?} -> {:?}",
+            String::from_utf8_lossy(bad),
+            parse(bad)
+        );
+    }
+}
+
+#[test]
+fn corpus_huge_heads_hit_the_byte_cap() {
+    // One header padded past the cap.
+    let padded = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "z".repeat(CAP));
+    assert_eq!(parse(padded.as_bytes()), Err(ParseError::TooLarge));
+    // An endless stream of headers with no terminator.
+    let endless: String = std::iter::repeat("X-A: b\r\n").take(CAP).collect();
+    let head = format!("GET / HTTP/1.1\r\n{endless}");
+    assert_eq!(parse(head.as_bytes()), Err(ParseError::TooLarge));
+    // Too many headers, even under the byte cap.
+    let many: String = (0..100).map(|i| format!("H{i}: v\r\n")).collect();
+    let head = format!("GET / HTTP/1.1\r\n{many}\r\n");
+    assert_eq!(
+        read_request(&mut head.as_bytes(), 64 * 1024),
+        Err(ParseError::TooLarge)
+    );
+    // An oversized request target is malformed, not a crash.
+    let target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4000));
+    assert!(matches!(parse(target.as_bytes()), Err(ParseError::Malformed(_))));
+}
+
+#[test]
+fn corpus_pipelined_garbage_is_ignored() {
+    let bytes = b"GET /ok HTTP/1.1\r\n\r\n\x00\xffTOTAL GARBAGE\r\n\r\nGET /second HTTP/1.1\r\n\r\n";
+    let req = parse(bytes).expect("first request is well-formed");
+    assert_eq!(req.path, "/ok");
+}
+
+#[test]
+fn corpus_early_disconnect_and_transport_errors() {
+    assert_eq!(parse(b""), Err(ParseError::Disconnect));
+    let mut timing_out = FlakyReader {
+        bytes: b"GET / HT",
+        fail_kind: Some(std::io::ErrorKind::WouldBlock),
+    };
+    assert_eq!(read_head(&mut timing_out, CAP), Err(ParseError::Timeout));
+    let mut timing_out = FlakyReader {
+        bytes: b"",
+        fail_kind: Some(std::io::ErrorKind::TimedOut),
+    };
+    assert_eq!(read_head(&mut timing_out, CAP), Err(ParseError::Timeout));
+    let mut broken = FlakyReader {
+        bytes: b"GET / HTTP/1.1\r\n",
+        fail_kind: Some(std::io::ErrorKind::ConnectionReset),
+    };
+    assert!(matches!(read_head(&mut broken, CAP), Err(ParseError::Io(_))));
+}
+
+#[test]
+fn byte_at_a_time_reads_parse_identically() {
+    let head = b"GET /v1/series/ucsd?norm=1 HTTP/1.1\r\nHost: a\r\nAccept: */*\r\n\r\n";
+    let mut trickle = FlakyReader { bytes: head, fail_kind: None };
+    let slow = read_request(&mut trickle, CAP).expect("trickled head parses");
+    let fast = parse(head).expect("buffered head parses");
+    assert_eq!(slow, fast);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No byte sequence panics the parser; success implies the request
+    /// invariants (uppercase method, absolute path) actually hold.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(req) = parse(&bytes) {
+            prop_assert!(!req.method.is_empty());
+            prop_assert!(req.method.bytes().all(|b| b.is_ascii_uppercase()));
+            prop_assert!(req.path.starts_with('/'));
+            prop_assert!(req.headers.len() <= serve::http::MAX_HEADERS);
+        }
+    }
+
+    /// Mutating one byte of a valid head never panics, and the parser
+    /// stays deterministic over the mutation.
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..60, byte in any::<u8>()) {
+        let mut bytes = b"GET /v1/trends HTTP/1.1\r\nHost: example\r\nAccept: */*\r\n\r\n".to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = byte;
+        let first = parse(&bytes);
+        prop_assert_eq!(first, parse(&bytes));
+    }
+
+    /// `parse_head` (the pure half) accepts arbitrary byte soup too —
+    /// even inputs that `read_head` could never produce.
+    #[test]
+    fn parse_head_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_head(&bytes);
+    }
+}

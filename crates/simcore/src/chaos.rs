@@ -66,6 +66,37 @@ impl ChaosSchedule {
     }
 }
 
+/// Registry of injection sites wired into production code paths.
+///
+/// Site labels feed both the `(seed, site, unit)` failure hash and the
+/// `chaos.caught.*` / `chaos.recovered.*` trace instants, so they are
+/// part of the reproducibility surface: renaming one silently reshuffles
+/// which units fail under a given seed. Declaring them here keeps the
+/// label set reviewable and lets tests assert coverage. (Tests may use
+/// ad-hoc labels; production call sites should use these constants.)
+pub mod sites {
+    /// Attack-plan stage compute (`crates/core` pipeline).
+    pub const STAGE_PLAN: &str = "stage.plan";
+    /// Attack-materialization stage compute.
+    pub const STAGE_ATTACKS: &str = "stage.attacks";
+    /// One shard closure inside [`crate::pool::ExecPool`].
+    pub const POOL_SHARD: &str = "pool.shard";
+    /// One grid point of a parameter sweep (`crates/core::sweep`).
+    pub const SWEEP_POINT: &str = "sweep.point";
+    /// One HTTP request handled by the query service (`crates/serve`).
+    /// Retry budget is 1 by design: an injected panic 500s exactly that
+    /// request and the worker moves on.
+    pub const HTTP_REQUEST: &str = "http.request";
+
+    /// Every registered production site.
+    pub const ALL: &[&str] = &[STAGE_PLAN, STAGE_ATTACKS, POOL_SHARD, SWEEP_POINT, HTTP_REQUEST];
+
+    /// Is `site` a registered production injection site?
+    pub fn is_registered(site: &str) -> bool {
+        ALL.contains(&site)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +154,26 @@ mod tests {
         })
         .expect_err("must exhaust");
         assert!(err.message.contains("chaos: injected failure"), "{}", err.message);
+    }
+
+    #[test]
+    fn site_registry_covers_production_labels() {
+        for site in sites::ALL {
+            assert!(sites::is_registered(site));
+        }
+        assert!(sites::is_registered(sites::HTTP_REQUEST));
+        assert!(!sites::is_registered("anywhere"));
+        // Distinct labels hash to distinct failure sets (otherwise two
+        // registered sites would fail in lockstep under every seed).
+        let cs = ChaosSchedule { probability: 0.5, ..CS };
+        let sets: Vec<Vec<u32>> = sites::ALL
+            .iter()
+            .map(|s| (0..64).map(|u| cs.failures_at(s, u)).collect())
+            .collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                assert_ne!(sets[i], sets[j], "sites {i} and {j} fail in lockstep");
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@
 //! call, which is noise next to the millisecond-scale shards we feed
 //! them.
 
-use crate::chaos::ChaosSchedule;
+use crate::chaos::{self, ChaosSchedule};
 use crate::recover::{self, CaughtPanic};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -313,8 +313,8 @@ impl ExecPool {
     {
         match self.chaos {
             None => Ok(f(idx, chunk)),
-            Some(cs) => recover::try_with_retry("pool.shard", |attempt| {
-                cs.maybe_fail("pool.shard", idx as u64, attempt);
+            Some(cs) => recover::try_with_retry(chaos::sites::POOL_SHARD, |attempt| {
+                cs.maybe_fail(chaos::sites::POOL_SHARD, idx as u64, attempt);
                 f(idx, chunk)
             }),
         }

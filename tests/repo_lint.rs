@@ -1,14 +1,17 @@
 //! Source lint wired into the test suite (mirrors `tools/lint.sh`),
-//! seven rules:
+//! eight rules:
 //!
 //! 1. No wall-clock or OS-entropy primitives anywhere in simulation
 //!    code: every stochastic draw must fork from the study seed and
 //!    every timestamp must be SimTime, or runs stop being bitwise
 //!    reproducible.
 //! 2. Wall-clock *timing* is quarantined in `crates/obs` (the
-//!    telemetry layer, DESIGN.md §5): simulation crates measure
-//!    elapsed time only through `obs::Stopwatch` / `obs::span!`. The
-//!    CLI binary is user-facing and exempt.
+//!    telemetry layer, DESIGN.md §5) and `crates/serve` (the IO
+//!    boundary, DESIGN.md §12, whose socket deadlines and drain budget
+//!    are wall-clock by nature and never feed simulation state):
+//!    simulation crates measure elapsed time only through
+//!    `obs::Stopwatch` / `obs::span!`. The CLI binary is user-facing
+//!    and exempt.
 //! 3. Library sources never print: stdout is reserved for
 //!    machine-readable output and stderr goes through the leveled
 //!    `obs` logger. Allowlist: the CLI binary and the logger itself.
@@ -35,6 +38,11 @@
 //!    checksummed wire layout, so every load is integrity-checked and
 //!    every reject is counted. The CLI binary may name the default
 //!    directory in its usage text; tests and benches may poke cells.
+//! 8. Socket IO (the TCP listener/stream types) is confined to
+//!    `crates/serve/src`, the query-service boundary (DESIGN.md §12):
+//!    one crate owns accept loops, deadlines, and load shedding, so a
+//!    socket anywhere else would dodge the admission control and the
+//!    `http.*` counters. Tests and benches may open client sockets.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -133,7 +141,11 @@ fn repo_lint_rules_hold() {
             name: "wall-clock timing outside crates/obs",
             patterns: vec![["Inst", "ant"].concat()],
             dirs: &["crates", "src", "tests"],
-            allow: |rel| rel.starts_with("crates/obs/") || rel.starts_with("crates/core/src/bin/"),
+            allow: |rel| {
+                rel.starts_with("crates/obs/")
+                    || rel.starts_with("crates/serve/")
+                    || rel.starts_with("crates/core/src/bin/")
+            },
             library_lines_only: false,
         },
         Rule {
@@ -190,6 +202,18 @@ fn repo_lint_rules_hold() {
                 !(rel.starts_with("src/") || rel.contains("/src/"))
                     || rel == "crates/core/src/diskstore.rs"
                     || rel.starts_with("crates/core/src/bin/")
+            },
+            library_lines_only: false,
+        },
+        Rule {
+            name: "socket IO outside the serve crate",
+            patterns: vec![["TcpList", "ener"].concat(), ["TcpStr", "eam"].concat()],
+            dirs: &["crates", "src"],
+            // Same library scope as the print rule: only src/ files are
+            // in scope, and only crates/serve may touch sockets.
+            allow: |rel| {
+                !(rel.starts_with("src/") || rel.contains("/src/"))
+                    || rel.starts_with("crates/serve/src/")
             },
             library_lines_only: false,
         },

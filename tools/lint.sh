@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo lint, seven rules (mirrored by tests/repo_lint.rs):
+# Repo lint, eight rules (mirrored by tests/repo_lint.rs):
 #
 # 1. No wall-clock or OS-entropy primitives in simulation code. The
 #    reproducibility contract (DESIGN.md §4) requires every stochastic
@@ -8,10 +8,12 @@
 #    bitwise determinism across runs and worker counts.
 #
 # 2. Wall-clock timing (`Instant`) is quarantined in `crates/obs`, the
-#    telemetry layer (DESIGN.md §5): simulation crates measure elapsed
-#    time only through `obs::Stopwatch` / `obs::span!`, which are
-#    documented pure side channels. The CLI binary and examples are
-#    user-facing and exempt.
+#    telemetry layer (DESIGN.md §5), and `crates/serve`, the IO
+#    boundary (DESIGN.md §12) whose socket deadlines and drain budget
+#    are wall-clock by nature and never feed simulation state:
+#    simulation crates measure elapsed time only through
+#    `obs::Stopwatch` / `obs::span!`, which are documented pure side
+#    channels. The CLI binary and examples are user-facing and exempt.
 #
 # 3. Library crates never print: stdout is reserved for
 #    machine-readable experiment output and stderr goes through the
@@ -47,6 +49,11 @@
 #    layout and dodge the integrity counters. The CLI binary may name
 #    the default directory in its usage text; tests and benches may
 #    poke cells to corrupt them.
+# 8. Socket IO (`TcpListener`/`TcpStream`) lives only in
+#    `crates/serve/src`, the query-service boundary (DESIGN.md §12).
+#    One crate owns accept loops, deadlines, and shedding; sockets
+#    anywhere else would dodge the admission control and the `http.*`
+#    counters. Tests and benches may open client sockets freely.
 #
 # Only vendor/ (third-party stand-ins) is fully exempt.
 set -eu
@@ -62,6 +69,7 @@ fi
 
 if grep -rnE 'Instant' crates src tests --include='*.rs' 2>/dev/null \
     | grep -vE '^crates/obs/' \
+    | grep -vE '^crates/serve/' \
     | grep -vE '^crates/core/src/bin/' \
     | grep . ; then
     echo "lint: wall-clock timing outside crates/obs (use obs::Stopwatch / obs::span!)" >&2
@@ -112,7 +120,15 @@ if grep -rnE 'CELL_MAGIC|\.ddoscovery/store' crates src --include='*.rs' 2>/dev/
     fail=1
 fi
 
+if grep -rnE 'TcpListener|TcpStream' crates src --include='*.rs' 2>/dev/null \
+    | grep -E '(^|/)src/' \
+    | grep -vE '^crates/serve/src/' \
+    | grep . ; then
+    echo "lint: socket IO outside crates/serve (the query-service boundary owns sockets)" >&2
+    fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement, trace-export confinement, stage-store confinement)"
+echo "lint: ok (determinism primitives, wall-clock confinement, print discipline, no bare unwrap, unwind confinement, trace-export confinement, stage-store confinement, socket confinement)"
